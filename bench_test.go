@@ -1,0 +1,117 @@
+package pctwm
+
+import (
+	"io"
+	"testing"
+
+	"pctwm/internal/benchprog"
+	"pctwm/internal/core"
+	"pctwm/internal/engine"
+	"pctwm/internal/harness"
+	"pctwm/internal/report"
+)
+
+// benchCfg is a scaled-down experiment configuration so one benchmark
+// iteration regenerates a full (small) table or figure. Run the
+// pctwm-experiments command for paper-sized runs.
+var benchCfg = report.Config{Runs: 40, Fig6Runs: 30, PerfRuns: 2, MaxH: 2, Seed: 1}
+
+// BenchmarkTable1Estimate regenerates Table 1 (benchmark inventory with
+// measured k and kcom) per iteration.
+func BenchmarkTable1Estimate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := report.Table1(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2DepthSweep regenerates Table 2 (PCTWM rates over bug
+// depths d..d+2) per iteration.
+func BenchmarkTable2DepthSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := report.Table2(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3HistorySweep regenerates Table 3 (PCTWM rates over
+// history depths h=1..4) per iteration.
+func BenchmarkTable3HistorySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := report.Table3(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Apps regenerates Table 4 (application testing overhead,
+// C11Tester vs PCTWM) per iteration.
+func BenchmarkTable4Apps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := report.Table4(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5Best regenerates the Figure 5 series (highest hit rates
+// per strategy per benchmark) per iteration.
+func BenchmarkFigure5Best(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := report.Figure5(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure6InsertedWrites regenerates the Figure 6 series (hit
+// rate vs inserted relaxed writes) per iteration.
+func BenchmarkFigure6InsertedWrites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := report.Figure6(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The per-strategy engine benchmarks below measure single-execution cost
+// — the quantity behind Table 4's overhead discussion (PCTWM maintains
+// thread views; C11Tester-style random picks uniformly).
+
+func benchStrategy(b *testing.B, newStrategy func(est harness.Estimate) engine.Strategy) {
+	bench, err := benchprog.ByName("rwlock")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := bench.Program(0)
+	opts := bench.Options()
+	est := harness.EstimateParams(prog, 5, 1, opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Run(prog, newStrategy(est), int64(i), opts)
+	}
+}
+
+func BenchmarkEngineRandom(b *testing.B) {
+	benchStrategy(b, func(harness.Estimate) engine.Strategy { return core.NewRandom() })
+}
+
+func BenchmarkEnginePCT(b *testing.B) {
+	benchStrategy(b, func(est harness.Estimate) engine.Strategy { return core.NewPCT(2, est.K) })
+}
+
+func BenchmarkEnginePCTWM(b *testing.B) {
+	benchStrategy(b, func(est harness.Estimate) engine.Strategy { return core.NewPCTWM(2, 1, est.KCom) })
+}
+
+// BenchmarkAblations regenerates the ablation study (PCTWM ingredient
+// contributions) per iteration.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := report.Ablations(io.Discard, benchCfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command pctwm-bench prints the full strategy × benchmark hit-rate
+// matrix with Wilson confidence intervals — the quick overview of how the
+// algorithms compare on the paper's suite.
+//
+// Usage:
+//
+//	pctwm-bench [-runs N] [-s SEED] [-parallel] [-d D] [-y H]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"pctwm/internal/benchprog"
+	"pctwm/internal/engine"
+	"pctwm/internal/harness"
+)
+
+func main() {
+	var (
+		runs     = flag.Int("runs", 500, "rounds per strategy per benchmark")
+		seed     = flag.Int64("s", 1, "base random seed")
+		parallel = flag.Bool("parallel", false, "spread the rounds over all CPUs")
+		depth    = flag.Int("d", -1, "bug depth override (-1 = each benchmark's design depth)")
+		history  = flag.Int("y", 1, "history depth for PCTWM")
+	)
+	flag.Parse()
+
+	type column struct {
+		name    string
+		factory func(b *benchprog.Benchmark) harness.StrategyFactory
+	}
+	dFor := func(b *benchprog.Benchmark) int {
+		if *depth >= 0 {
+			return *depth
+		}
+		return b.Depth
+	}
+	cols := []column{
+		{"c11tester", func(*benchprog.Benchmark) harness.StrategyFactory { return harness.C11Tester() }},
+		{"pos", func(*benchprog.Benchmark) harness.StrategyFactory { return harness.POSFactory() }},
+		{"pct", func(b *benchprog.Benchmark) harness.StrategyFactory {
+			d := dFor(b)
+			if d < 1 {
+				d = 1
+			}
+			return harness.PCTFactory(d)
+		}},
+		{"pctwm", func(b *benchprog.Benchmark) harness.StrategyFactory {
+			return harness.PCTWMFactory(dFor(b), *history)
+		}},
+	}
+
+	start := time.Now()
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	header := "Benchmark\td"
+	for _, c := range cols {
+		header += "\t" + c.name
+	}
+	fmt.Fprintln(tw, header)
+	for _, b := range benchprog.All() {
+		prog := b.Program(0)
+		opts := b.Options()
+		est := harness.EstimateParams(prog, 20, *seed^0x5eed, opts)
+		row := fmt.Sprintf("%s\t%d", b.Name, dFor(b))
+		for i, c := range cols {
+			factory := c.factory(b)
+			newStrategy := func() engine.Strategy { return factory(est) }
+			var res harness.TrialResult
+			if *parallel {
+				res = harness.RunTrialsParallel(prog, b.Detect, newStrategy, *runs, *seed+int64(10*i), opts, 0)
+			} else {
+				res = harness.RunTrials(prog, b.Detect, newStrategy, *runs, *seed+int64(10*i), opts)
+			}
+			lo, hi := res.CI95()
+			row += fmt.Sprintf("\t%.1f [%.0f,%.0f]", res.Rate(), lo, hi)
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+	fmt.Printf("(%d rounds per cell, %v total)\n", *runs, time.Since(start).Round(time.Millisecond))
+}

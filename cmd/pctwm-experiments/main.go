@@ -1,0 +1,73 @@
+// Command pctwm-experiments regenerates the paper's evaluation artifacts:
+// Tables 1-4 and the data series behind Figures 5 and 6.
+//
+// Usage:
+//
+//	pctwm-experiments [-quick] [-runs N] [-fig6runs N] [-perfruns N] [-seed S] [-section all|table1|table2|table3|table4|figure5|figure6]
+//
+// The default configuration uses the paper's experiment sizes (1000
+// rounds per table configuration, 500 per Figure 6 point, 10 timed runs
+// per Table 4 cell); -quick shrinks everything for a fast smoke run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pctwm/internal/report"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "use the small smoke-run configuration")
+		runs     = flag.Int("runs", 0, "rounds per configuration for tables 2-3 and figure 5 (0 = default)")
+		fig6runs = flag.Int("fig6runs", 0, "rounds per figure 6 point (0 = default)")
+		perfruns = flag.Int("perfruns", 0, "timed runs per table 4 cell (0 = default)")
+		seed     = flag.Int64("seed", 0, "base random seed (0 = default)")
+		section  = flag.String("section", "all", "which artifact to regenerate: all, table1..table4, figure5, figure6, ablation, baselines, coverage, figure5csv, figure6csv")
+	)
+	flag.Parse()
+
+	cfg := report.Default()
+	if *quick {
+		cfg = report.Quick()
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+	if *fig6runs > 0 {
+		cfg.Fig6Runs = *fig6runs
+	}
+	if *perfruns > 0 {
+		cfg.PerfRuns = *perfruns
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	sections := map[string]func(io.Writer, report.Config) error{
+		"all":        report.All,
+		"table1":     report.Table1,
+		"table2":     report.Table2,
+		"table3":     report.Table3,
+		"table4":     report.Table4,
+		"figure5":    report.Figure5,
+		"figure6":    report.Figure6,
+		"ablation":   report.Ablations,
+		"baselines":  report.Baselines,
+		"coverage":   report.Coverage,
+		"figure5csv": report.Figure5CSV,
+		"figure6csv": report.Figure6CSV,
+	}
+	f, ok := sections[*section]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "pctwm-experiments: unknown section %q\n", *section)
+		os.Exit(2)
+	}
+	if err := f(os.Stdout, cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pctwm-experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,87 @@
+// Command pctwm-explore exhaustively enumerates every scheduling and
+// reads-from choice of a litmus test (bounded model checking) and prints
+// the reachable outcome histogram together with the declared expectation.
+//
+// Usage:
+//
+//	pctwm-explore                 # explore the whole litmus suite
+//	pctwm-explore -t SB+rlx       # one test
+//	pctwm-explore -limit 100000   # cap the exploration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pctwm/internal/engine"
+	"pctwm/internal/enumerate"
+	"pctwm/internal/litmus"
+)
+
+func main() {
+	var (
+		test  = flag.String("t", "", "litmus test name (empty = all)")
+		limit = flag.Int("limit", 2000000, "maximum executions to explore per test")
+	)
+	flag.Parse()
+
+	suite := litmus.Suite()
+	if *test != "" {
+		var filtered []*litmus.Test
+		for _, lt := range suite {
+			if lt.Name == *test {
+				filtered = append(filtered, lt)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "pctwm-explore: unknown test %q; available:\n", *test)
+			for _, lt := range suite {
+				fmt.Fprintf(os.Stderr, "  %s\n", lt.Name)
+			}
+			os.Exit(2)
+		}
+		suite = filtered
+	}
+
+	failures := 0
+	for _, lt := range suite {
+		counts, res := enumerate.Outcomes(lt.Program, engine.Options{}, *limit, func(o *engine.Outcome) string {
+			return lt.Outcome(o.FinalValues)
+		})
+		fmt.Printf("%s (%s)\n", lt.Name, lt.Description)
+		fmt.Printf("  %d executions, complete=%v\n", res.Runs, res.Complete)
+		keys := make([]string, 0, len(counts))
+		for k := range counts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		allowed := map[string]bool{}
+		for _, a := range lt.Allowed {
+			allowed[a] = true
+		}
+		forbidden := map[string]bool{}
+		for _, f := range lt.Forbidden {
+			forbidden[f] = true
+		}
+		for _, k := range keys {
+			mark := " "
+			if forbidden[k] || (len(lt.Allowed) > 0 && !allowed[k]) {
+				mark = "✗ ILLEGAL"
+				failures++
+			}
+			fmt.Printf("  [%s] ×%-6d %s\n", k, counts[k], mark)
+		}
+		if res.Complete {
+			for _, f := range lt.Forbidden {
+				fmt.Printf("  forbidden %q: unreachable ✓\n", f)
+			}
+		}
+		fmt.Println()
+	}
+	if failures > 0 {
+		fmt.Printf("%d illegal outcome(s)\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,117 @@
+package conc
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// Stack is a Treiber lock-free stack with release/acquire publication.
+// Nodes are allocated dynamically: [0] value, [1] next (0 = nil).
+type Stack struct {
+	top memmodel.Loc
+}
+
+// NewStack declares the stack's top pointer.
+func NewStack(p *engine.Program, name string) *Stack {
+	return &Stack{top: p.Loc(name+".top", 0)}
+}
+
+// Push adds v on top of the stack.
+func (s *Stack) Push(t *engine.Thread, v memmodel.Value) {
+	node := t.Alloc("stknode", 2)
+	t.Store(node, v, memmodel.NonAtomic)
+	for {
+		old := t.Load(s.top, memmodel.Relaxed)
+		t.Store(node+1, old, memmodel.Relaxed)
+		// Release publishes the node's plain payload to whoever pops it.
+		if _, ok := t.CAS(s.top, old, memmodel.Value(node), memmodel.Release, memmodel.Relaxed); ok {
+			return
+		}
+		t.Yield()
+	}
+}
+
+// Pop removes and returns the top value; ok is false when the stack looks
+// empty.
+func (s *Stack) Pop(t *engine.Thread) (memmodel.Value, bool) {
+	for {
+		// Acquire synchronizes with the pushing CAS, making the node's
+		// payload and next pointer visible.
+		old := t.Load(s.top, memmodel.Acquire)
+		if old == 0 {
+			return 0, false
+		}
+		node := memmodel.Loc(old)
+		next := t.Load(node+1, memmodel.Relaxed)
+		if _, ok := t.CAS(s.top, old, next, memmodel.AcqRel, memmodel.Relaxed); ok {
+			return t.Load(node, memmodel.NonAtomic), true
+		}
+		t.Yield()
+	}
+}
+
+// TryPop is a single bounded attempt (for loop-free exhaustive tests).
+func (s *Stack) TryPop(t *engine.Thread) (memmodel.Value, bool) {
+	old := t.Load(s.top, memmodel.Acquire)
+	if old == 0 {
+		return 0, false
+	}
+	node := memmodel.Loc(old)
+	next := t.Load(node+1, memmodel.Relaxed)
+	if _, ok := t.CAS(s.top, old, next, memmodel.AcqRel, memmodel.Relaxed); ok {
+		return t.Load(node, memmodel.NonAtomic), true
+	}
+	return 0, false
+}
+
+// SPSCQueue is a bounded single-producer single-consumer ring buffer with
+// release/acquire index publication (the classic Lamport queue, correctly
+// fenced for C11).
+type SPSCQueue struct {
+	capacity memmodel.Value
+	head     memmodel.Loc // consumer index
+	tail     memmodel.Loc // producer index
+	buf      memmodel.Loc
+}
+
+// NewSPSCQueue declares a ring of the given capacity (must be ≥ 1).
+func NewSPSCQueue(p *engine.Program, name string, capacity int) *SPSCQueue {
+	if capacity < 1 {
+		panic("conc: SPSC queue capacity must be at least 1")
+	}
+	return &SPSCQueue{
+		capacity: memmodel.Value(capacity),
+		head:     p.Loc(name+".head", 0),
+		tail:     p.Loc(name+".tail", 0),
+		buf:      p.LocArray(name+".buf", capacity, 0),
+	}
+}
+
+func (q *SPSCQueue) slot(i memmodel.Value) memmodel.Loc {
+	return q.buf + memmodel.Loc(i%q.capacity)
+}
+
+// TryEnqueue appends v; false when the ring is full. Producer-side only.
+func (q *SPSCQueue) TryEnqueue(t *engine.Thread, v memmodel.Value) bool {
+	tail := t.Load(q.tail, memmodel.Relaxed) // own index
+	head := t.Load(q.head, memmodel.Acquire) // consumer progress
+	if tail-head >= q.capacity {
+		return false
+	}
+	t.Store(q.slot(tail), v, memmodel.NonAtomic)
+	t.Store(q.tail, tail+1, memmodel.Release) // publish the element
+	return true
+}
+
+// TryDequeue removes the oldest element; false when the ring looks empty.
+// Consumer-side only.
+func (q *SPSCQueue) TryDequeue(t *engine.Thread) (memmodel.Value, bool) {
+	head := t.Load(q.head, memmodel.Relaxed) // own index
+	tail := t.Load(q.tail, memmodel.Acquire) // producer progress
+	if head == tail {
+		return 0, false
+	}
+	v := t.Load(q.slot(head), memmodel.NonAtomic)
+	t.Store(q.head, head+1, memmodel.Release) // free the slot
+	return v, true
+}

@@ -1,0 +1,84 @@
+package pctwm_test
+
+import (
+	"fmt"
+
+	"pctwm"
+)
+
+// ExampleRun demonstrates a single controlled execution: PCTWM with bug
+// depth 0 runs the threads serially on their thread-local views, so the
+// store-buffering program always produces the non-SC outcome a = b = 0.
+func ExampleRun() {
+	p := pctwm.NewProgram("sb")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *pctwm.Thread) {
+		t.Store(x, 1, pctwm.Relaxed)
+		t.Store(ra, t.Load(y, pctwm.Relaxed), pctwm.NonAtomic)
+	})
+	p.AddThread(func(t *pctwm.Thread) {
+		t.Store(y, 1, pctwm.Relaxed)
+		t.Store(rb, t.Load(x, pctwm.Relaxed), pctwm.NonAtomic)
+	})
+
+	o := pctwm.Run(p, pctwm.NewPCTWM(0, 1, 4), 1, pctwm.Options{})
+	fmt.Printf("a=%d b=%d\n", o.FinalValues["a"], o.FinalValues["b"])
+	// Output: a=0 b=0
+}
+
+// ExampleNewPCTWM shows the full testing loop on the paper's Program P1:
+// with kcom = 1 the assertion's load is always the communication sink,
+// and history depth 1 pins it on the mo-maximal write X = k.
+func ExampleNewPCTWM() {
+	const k = 5
+	p := pctwm.NewProgram("p1")
+	x := p.Loc("X", 0)
+	p.AddThread(func(t *pctwm.Thread) {
+		for i := 1; i <= k; i++ {
+			t.Store(x, pctwm.Value(i), pctwm.Relaxed)
+		}
+	})
+	p.AddThread(func(t *pctwm.Thread) {
+		t.Assert(t.Load(x, pctwm.Relaxed) != k, "read X=k")
+	})
+
+	res := pctwm.RunTrials(p,
+		func(o *pctwm.Outcome) bool { return o.BugHit },
+		func() pctwm.Strategy { return pctwm.NewPCTWM(1, 1, 1) },
+		100, 1, pctwm.Options{StopOnBug: true})
+	fmt.Printf("detected in %d/%d rounds\n", res.Hits, res.Runs)
+	// Output: detected in 100/100 rounds
+}
+
+// ExamplePCTWMBound evaluates the paper's §5.4 guarantee.
+func ExamplePCTWMBound() {
+	fmt.Printf("%.4f\n", pctwm.PCTWMBound(10, 2, 2))
+	// Output: 0.0025
+}
+
+// ExampleCheckConsistency records an execution and verifies the C11
+// consistency axioms of the paper's §4 on its execution graph.
+func ExampleCheckConsistency() {
+	p := pctwm.NewProgram("mp")
+	x := p.Loc("X", 0)
+	f := p.Loc("F", 0)
+	p.AddThread(func(t *pctwm.Thread) {
+		t.Store(x, 1, pctwm.Relaxed)
+		t.Store(f, 1, pctwm.Release)
+	})
+	p.AddThread(func(t *pctwm.Thread) {
+		if t.Load(f, pctwm.Acquire) == 1 {
+			t.Load(x, pctwm.Relaxed)
+		}
+	})
+	o := pctwm.Run(p, pctwm.NewRandomStrategy(), 42, pctwm.Options{Record: true})
+	violations, err := pctwm.CheckConsistency(o.Recording)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d violations\n", len(violations))
+	// Output: 0 violations
+}

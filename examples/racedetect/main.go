@@ -1,0 +1,61 @@
+// Race detection: use the engine's vector-clock race detector (the
+// C11Tester role) on an unsynchronized producer/consumer pair, then show
+// the execution graph checker confirming that every generated execution
+// still satisfies the C11 consistency axioms of the paper's §4.
+package main
+
+import (
+	"fmt"
+
+	"pctwm"
+)
+
+func main() {
+	p := pctwm.NewProgram("racy-handoff")
+	data := p.Loc("data", 0)
+	flag := p.Loc("flag", 0)
+	out := p.Loc("out", -1)
+
+	p.AddNamedThread("producer", func(t *pctwm.Thread) {
+		t.Store(data, 42, pctwm.NonAtomic) // plain payload write
+		t.Store(flag, 1, pctwm.Relaxed)    // BUG: should be Release
+	})
+	p.AddNamedThread("consumer", func(t *pctwm.Thread) {
+		for i := 0; i < 16; i++ {
+			if t.Load(flag, pctwm.Relaxed) == 1 { // BUG: should be Acquire
+				t.Store(out, t.Load(data, pctwm.NonAtomic), pctwm.NonAtomic)
+				return
+			}
+		}
+	})
+
+	opts := pctwm.Options{DetectRaces: true, Record: true}
+	races, stale, checked := 0, 0, 0
+	const rounds = 300
+	for seed := int64(0); seed < rounds; seed++ {
+		o := pctwm.Run(p, pctwm.NewRandomStrategy(), seed, opts)
+		if len(o.Races) > 0 {
+			races++
+			if races == 1 {
+				fmt.Println("first detected race:", o.Races[0])
+			}
+		}
+		if v, ok := o.FinalValues["out"]; ok && v == 0 {
+			stale++
+		}
+		// Every recorded execution must satisfy the C11 axioms
+		// (coherence, atomicity, irrMOSC, SC acyclicity).
+		msgs, err := pctwm.CheckConsistency(o.Recording)
+		if err != nil {
+			panic(err)
+		}
+		if len(msgs) > 0 {
+			fmt.Println("INCONSISTENT EXECUTION:", msgs)
+			return
+		}
+		checked++
+	}
+	fmt.Printf("\n%d/%d rounds raced (flag handoff without release/acquire)\n", races, rounds)
+	fmt.Printf("%d/%d rounds additionally delivered the stale payload 0\n", stale, rounds)
+	fmt.Printf("all %d recorded executions satisfy the C11 consistency axioms\n", checked)
+}

@@ -1,0 +1,3 @@
+module pctwm
+
+go 1.22

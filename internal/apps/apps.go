@@ -1,0 +1,79 @@
+// Package apps provides the real-world application workloads of the
+// paper's Table 4 (RQ4, testing-tool overhead): synthetic equivalents of
+// Iris (a low-latency asynchronous logging library), Mabain (a key-value
+// store library), and Silo (a multicore in-memory storage engine), all
+// built against the engine's C11-style atomics.
+//
+// The paper measures elapsed time (Mabain, Iris) and throughput (Silo)
+// under C11Tester's random tester versus PCTWM, and reports that both
+// tools detect data races in all three applications. These workloads
+// reproduce that setup: each has a seeded weak-memory publication bug
+// whose race the detector finds, plus enough work per run for timing to
+// be meaningful.
+package apps
+
+import (
+	"fmt"
+
+	"pctwm/internal/engine"
+)
+
+// Kind classifies how an app's Table-4 row is reported.
+type Kind int
+
+const (
+	// KindTime reports elapsed seconds per run (Mabain, Iris).
+	KindTime Kind = iota
+	// KindThroughput reports operations per second (Silo).
+	KindThroughput
+)
+
+// App is one application workload.
+type App struct {
+	// Name matches the paper's Table 4 row.
+	Name string
+	// Kind selects the reported metric.
+	Kind Kind
+	// Ops is the number of application-level operations one run performs
+	// (transactions for Silo, log appends for Iris, KV operations for
+	// Mabain); throughput = Ops / elapsed.
+	Ops int
+	// Build constructs a fresh program.
+	Build func() *engine.Program
+
+	prog *engine.Program
+}
+
+// Program returns the cached program.
+func (a *App) Program() *engine.Program {
+	if a.prog == nil {
+		a.prog = a.Build()
+	}
+	return a.prog
+}
+
+// Options returns the engine options application runs use: races on, run
+// to completion (the paper measures full testing runs), generous step
+// budget for strategy-induced retries.
+func (a *App) Options() engine.Options {
+	return engine.Options{
+		DetectRaces: true,
+		StopOnBug:   false,
+		MaxSteps:    400000,
+	}
+}
+
+// All returns the three Table-4 applications.
+func All() []*App {
+	return []*App{Iris(), Mabain(), Silo()}
+}
+
+// ByName returns the application with the given name.
+func ByName(name string) (*App, error) {
+	for _, a := range All() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return nil, fmt.Errorf("apps: unknown application %q", name)
+}

@@ -1,0 +1,95 @@
+package apps_test
+
+import (
+	"testing"
+
+	"pctwm/internal/apps"
+	"pctwm/internal/core"
+	"pctwm/internal/engine"
+	"pctwm/internal/harness"
+)
+
+// TestAppsCompleteUnderAllStrategies: the applications must run to
+// completion (no deadlocks; livelock escapes keep them under the step
+// budget) under every strategy.
+func TestAppsCompleteUnderAllStrategies(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			prog := a.Program()
+			opts := a.Options()
+			est := harness.EstimateParams(prog, 3, 9, opts)
+			strategies := []func() engine.Strategy{
+				func() engine.Strategy { return core.NewRandom() },
+				func() engine.Strategy { return core.NewPCT(3, est.K) },
+				func() engine.Strategy { return core.NewPCTWM(2, 1, est.KCom) },
+			}
+			for _, ns := range strategies {
+				for seed := int64(0); seed < 5; seed++ {
+					o := engine.Run(prog, ns(), seed, opts)
+					if o.Deadlocked {
+						t.Fatalf("%s deadlocked (seed %d, strategy %s)", a.Name, seed, ns().Name())
+					}
+					if o.Aborted {
+						t.Fatalf("%s hit the step budget (seed %d, strategy %s, steps %d)", a.Name, seed, ns().Name(), o.Steps)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAppsExposeRaces: the paper reports that both C11Tester and PCTWM
+// detect data races in all three applications; over a handful of runs the
+// seeded publication races must surface.
+func TestAppsExposeRaces(t *testing.T) {
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			prog := a.Program()
+			opts := a.Options()
+			est := harness.EstimateParams(prog, 3, 10, opts)
+			for name, ns := range map[string]func() engine.Strategy{
+				"c11tester": func() engine.Strategy { return core.NewRandom() },
+				"pctwm":     func() engine.Strategy { return core.NewPCTWM(2, 1, est.KCom) },
+			} {
+				found := false
+				for seed := int64(0); seed < 10 && !found; seed++ {
+					o := engine.Run(prog, ns(), seed, opts)
+					found = len(o.Races) > 0
+				}
+				if !found {
+					t.Fatalf("%s: no data race detected by %s in 10 runs", a.Name, name)
+				}
+			}
+		})
+	}
+}
+
+// TestMeasureApp exercises the Table-4 measurement path.
+func TestMeasureApp(t *testing.T) {
+	a := apps.All()[0]
+	r := harness.MeasureApp(a, harness.C11Tester(), 3, 77, 1)
+	if r.Runs != 3 || r.MeanSeconds <= 0 {
+		t.Fatalf("bad measurement: %+v", r)
+	}
+	if r.Strategy != "c11tester" {
+		t.Fatalf("strategy name %q", r.Strategy)
+	}
+}
+
+// TestMeasureAppThroughput covers the throughput metric path and the
+// per-event cost computation.
+func TestMeasureAppThroughput(t *testing.T) {
+	a, err := apps.ByName("silo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := harness.MeasureApp(a, harness.PCTWMFactory(2, 1), 3, 5, 2)
+	if r.Throughput <= 0 || r.NsPerEvent <= 0 {
+		t.Fatalf("bad throughput measurement: %+v", r)
+	}
+	if _, err := apps.ByName("nope"); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+}

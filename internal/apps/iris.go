@@ -1,0 +1,71 @@
+package apps
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// Iris models the iris asynchronous logging library: producer threads
+// append log entries into a bounded multi-producer ring buffer and a
+// background consumer drains it to a sink. Producers claim slots with an
+// atomic ticket, write the entry payload with plain stores, and publish
+// the slot by storing its sequence number; the consumer polls the
+// sequence, reads the payload, and releases the slot.
+//
+// Seeded bug: the slot publication store is relaxed instead of release,
+// so the consumer's payload reads race with the producers' plain writes —
+// the data race C11Tester and PCTWM both detect in the paper's RQ4 runs.
+func Iris() *App {
+	const (
+		ringSize  = 8
+		producers = 3
+		perThread = 24
+		total     = producers * perThread
+	)
+	return &App{
+		Name: "iris",
+		Kind: KindTime,
+		Ops:  total,
+		Build: func() *engine.Program {
+			p := engine.NewProgram("iris")
+			tail := p.Loc("tail", 0)
+			head := p.Loc("head", 0)
+			seq := p.LocArray("seq", ringSize, 0)     // published entry index + 1; 0 = empty
+			payload := p.LocArray("msg", ringSize, 0) // entry payload
+			sink := p.Loc("sink", 0)                  // consumer checksum
+			consumed := p.Loc("consumed", 0)
+
+			for pi := 0; pi < producers; pi++ {
+				pi := pi
+				p.AddNamedThread("producer", func(t *engine.Thread) {
+					for e := 0; e < perThread; e++ {
+						ticket := t.FetchAdd(tail, 1, memmodel.Relaxed)
+						slot := memmodel.Loc(ticket % ringSize)
+						// Wait until the consumer freed the slot.
+						for t.Load(head, memmodel.Acquire)+ringSize <= ticket {
+							t.Yield()
+						}
+						entry := memmodel.Value(1000*(pi+1)) + memmodel.Value(e)
+						t.Store(payload+slot, entry, memmodel.NonAtomic)
+						t.Store(seq+slot, ticket+1, memmodel.Relaxed) // seeded: should be release
+					}
+				})
+			}
+			p.AddNamedThread("consumer", func(t *engine.Thread) {
+				var sum memmodel.Value
+				for c := 0; c < total; c++ {
+					slot := memmodel.Loc(c % ringSize)
+					// Poll for the publication of entry c.
+					for t.Load(seq+slot, memmodel.Acquire) != memmodel.Value(c+1) {
+						t.Yield()
+					}
+					sum += t.Load(payload+slot, memmodel.NonAtomic)
+					t.Store(head, memmodel.Value(c+1), memmodel.Release)
+				}
+				t.Store(sink, sum, memmodel.NonAtomic)
+				t.Store(consumed, memmodel.Value(total), memmodel.Relaxed)
+			})
+			return p
+		},
+	}
+}

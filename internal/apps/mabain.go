@@ -1,0 +1,94 @@
+package apps
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// Mabain models the mabain key-value store library: a fixed-size hash
+// index whose buckets hold a key and a value protected by a per-bucket
+// spinlock on the write path, with a lock-free versioned read path
+// (writers bump the bucket version around updates; readers retry on
+// version mismatch). Writer threads insert and update keys while reader
+// threads look them up.
+//
+// Seeded bug: the version publication after an update is relaxed instead
+// of release (and the readers' version loads relaxed instead of acquire),
+// so a reader can validate a version while reading a torn key/value pair:
+// its plain reads race with the writer's plain writes.
+func Mabain() *App {
+	const (
+		buckets   = 8
+		writers   = 2
+		readers   = 2
+		writerOps = 16
+		readerOps = 16
+	)
+	return &App{
+		Name: "mabain",
+		Kind: KindTime,
+		Ops:  writers*writerOps + readers*readerOps,
+		Build: func() *engine.Program {
+			p := engine.NewProgram("mabain")
+			lock := p.LocArray("lock", buckets, 0)
+			version := p.LocArray("version", buckets, 0)
+			keys := p.LocArray("key", buckets, 0)
+			vals := p.LocArray("val", buckets, 0)
+			found := p.LocArray("found", readers, 0)
+
+			hash := func(k memmodel.Value) memmodel.Loc { return memmodel.Loc(k % buckets) }
+
+			for wi := 0; wi < writers; wi++ {
+				wi := wi
+				p.AddNamedThread("writer", func(t *engine.Thread) {
+					for op := 0; op < writerOps; op++ {
+						k := memmodel.Value((wi*writerOps+op)*3%23 + 1)
+						b := hash(k)
+						// Bucket spinlock (correct: acq-rel CAS pair).
+						for {
+							if _, ok := t.CAS(lock+b, 0, 1, memmodel.Acquire, memmodel.Relaxed); ok {
+								break
+							}
+							t.Yield()
+						}
+						v := t.Load(version+b, memmodel.Relaxed)
+						t.Store(version+b, v+1, memmodel.Relaxed) // odd: update in progress
+						t.Store(keys+b, k, memmodel.NonAtomic)
+						t.Store(vals+b, k*100, memmodel.NonAtomic)
+						t.Store(version+b, v+2, memmodel.Relaxed) // seeded: should be release
+						t.Store(lock+b, 0, memmodel.Release)
+					}
+				})
+			}
+			for ri := 0; ri < readers; ri++ {
+				ri := ri
+				p.AddNamedThread("reader", func(t *engine.Thread) {
+					hits := memmodel.Value(0)
+					for op := 0; op < readerOps; op++ {
+						k := memmodel.Value((ri*readerOps+op)*5%23 + 1)
+						b := hash(k)
+						for attempt := 0; attempt < 3; attempt++ {
+							v1 := t.Load(version+b, memmodel.Relaxed) // seeded: should be acquire
+							if v1%2 != 0 {
+								continue // update in progress
+							}
+							kk := t.Load(keys+b, memmodel.NonAtomic)
+							vv := t.Load(vals+b, memmodel.NonAtomic)
+							v2 := t.Load(version+b, memmodel.Relaxed) // seeded: should be acquire
+							if v1 != v2 {
+								continue // concurrent update; retry
+							}
+							if kk == k {
+								t.Assert(vv == k*100, "lookup(%d) returned torn value %d", k, vv)
+								hits++
+							}
+							break
+						}
+					}
+					t.Store(found+memmodel.Loc(ri), hits, memmodel.NonAtomic)
+				})
+			}
+			return p
+		},
+	}
+}

@@ -1,0 +1,77 @@
+package apps
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// Silo models the Silo multicore in-memory storage engine: records carry a
+// TID/version word whose low bit is a write lock; transactions run
+// optimistic concurrency control — read records with version validation,
+// then lock their write set, validate the read set, install new values,
+// and bump the versions. Worker threads each run a batch of read-modify
+// transactions over a small table and count commits; Table 4 reports the
+// resulting throughput (ops/sec).
+//
+// Seeded bug: the version-install store after a write is relaxed instead
+// of release, so a concurrent reader can validate against the new version
+// while reading the old (plain) value — its plain reads race with the
+// writer's plain value stores.
+func Silo() *App {
+	const (
+		records = 6
+		workers = 3
+		txns    = 16
+	)
+	return &App{
+		Name: "silo",
+		Kind: KindThroughput,
+		Ops:  workers * txns,
+		Build: func() *engine.Program {
+			p := engine.NewProgram("silo")
+			ver := p.LocArray("tid", records, 2) // even = unlocked version
+			val := p.LocArray("val", records, 0)
+			commits := p.LocArray("commits", workers, 0)
+
+			for wi := 0; wi < workers; wi++ {
+				wi := wi
+				p.AddNamedThread("worker", func(t *engine.Thread) {
+					committed := memmodel.Value(0)
+					for tx := 0; tx < txns; tx++ {
+						src := memmodel.Loc((wi + tx) % records)
+						dst := memmodel.Loc((wi + tx + 1) % records)
+
+						// Read phase: snapshot src with its version.
+						v1 := t.Load(ver+src, memmodel.Relaxed) // seeded: should be acquire
+						if v1%2 != 0 {
+							continue // locked; abort
+						}
+						rv := t.Load(val+src, memmodel.NonAtomic)
+
+						// Write phase: lock dst (set low bit).
+						lv := t.Load(ver+dst, memmodel.Relaxed)
+						if lv%2 != 0 {
+							continue // locked; abort
+						}
+						if _, ok := t.CAS(ver+dst, lv, lv+1, memmodel.Acquire, memmodel.Relaxed); !ok {
+							continue // lost the lock race; abort
+						}
+
+						// Validate the read set.
+						if t.Load(ver+src, memmodel.Relaxed) != v1 && src != dst {
+							t.Store(ver+dst, lv, memmodel.Relaxed) // unlock, no install
+							continue
+						}
+
+						// Install and unlock with a new even version.
+						t.Store(val+dst, rv+1, memmodel.NonAtomic)
+						t.Store(ver+dst, lv+2, memmodel.Relaxed) // seeded: should be release
+						committed++
+					}
+					t.Store(commits+memmodel.Loc(wi), committed, memmodel.NonAtomic)
+				})
+			}
+			return p
+		},
+	}
+}

@@ -1,0 +1,16 @@
+package axiom
+
+// bitset is a fixed-capacity bit vector used for transitive-closure rows.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// or merges other into b (b |= other).
+func (b bitset) or(other bitset) {
+	for i, w := range other {
+		b[i] |= w
+	}
+}

@@ -1,0 +1,49 @@
+package axiom
+
+import (
+	"strings"
+	"testing"
+
+	"pctwm/internal/core"
+	"pctwm/internal/engine"
+	"pctwm/internal/litmus"
+)
+
+func renderGraph(t *testing.T) *Graph {
+	t.Helper()
+	lt := litmus.MPFences()
+	o := engine.Run(lt.Program, core.NewRandom(), 3, engine.Options{Record: true})
+	g, err := FromRecording(o.Recording)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestWriteText(t *testing.T) {
+	g := renderGraph(t)
+	var b strings.Builder
+	if err := g.WriteText(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"init:", "thread 1:", "thread 2:", "mo:", "F[rel]", "F[acq]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in rendering:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDot(t *testing.T) {
+	g := renderGraph(t)
+	var b strings.Builder
+	if err := g.WriteDot(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"digraph execution", "subgraph cluster_t1", "label=\"rf\"", "style=bold"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in DOT output:\n%s", want, out)
+		}
+	}
+}

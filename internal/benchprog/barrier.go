@@ -1,0 +1,67 @@
+package benchprog
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// Barrier is a two-thread flag barrier: each thread publishes a payload,
+// raises its arrival flag, and waits (bounded) for the other's flag before
+// reading the other payload. Thread 1 is correct (release store, acquire
+// wait); the seeded bug makes thread 2's wait loop relaxed, so T2 can pass
+// the barrier through a single communication (reading T1's flag) without
+// synchronizing — its payload read then misses T1's plain write. Bug
+// depth d = 1: exactly one communication relation (the flag read) reaches
+// the failing assertion.
+func Barrier() *Benchmark {
+	return &Benchmark{
+		Name:        "barrier",
+		Depth:       1,
+		Table3Depth: 2,
+		RaceIsBug:   false, // the race is incidental; detection is the visibility assert
+		Build:       buildBarrier,
+		BuildFixed:  func() *engine.Program { return buildBarrierOrd(0, memmodel.Acquire) },
+	}
+}
+
+func buildBarrier(extra int) *engine.Program {
+	return buildBarrierOrd(extra, memmodel.Relaxed)
+}
+
+func buildBarrierOrd(extra int, t2Ord memmodel.Order) *engine.Program {
+	p := engine.NewProgram("barrier")
+	x1 := p.Loc("x1", 0)
+	x2 := p.Loc("x2", 0)
+	f1 := p.Loc("f1", 0)
+	f2 := p.Loc("f2", 0)
+	dummy := p.Loc("dummy", 0)
+
+	const boundT1, boundT2 = 3, 16
+
+	p.AddNamedThread("T1", func(t *engine.Thread) {
+		insertExtraWrites(t, dummy, extra)
+		t.Store(x1, 1, memmodel.NonAtomic)
+		for stage := memmodel.Value(1); stage <= 4; stage++ {
+			t.Store(f1, stage, memmodel.Release) // staged arrival counter
+		}
+		for i := 0; i < boundT1; i++ {
+			if t.Load(f2, memmodel.Acquire) == 1 { // correct side
+				v := t.Load(x2, memmodel.NonAtomic)
+				t.Assert(v == 2, "T1 passed the barrier but x2=%d", v)
+				return
+			}
+		}
+	})
+	p.AddNamedThread("T2", func(t *engine.Thread) {
+		t.Store(x2, 2, memmodel.NonAtomic)
+		t.Store(f2, 1, memmodel.Release)
+		for i := 0; i < boundT2; i++ {
+			if t.Load(f1, t2Ord) >= 1 { // seeded: relaxed instead of acquire
+				v := t.Load(x1, memmodel.NonAtomic)
+				t.Assert(v == 1, "T2 passed the barrier but x1=%d", v)
+				return
+			}
+		}
+	})
+	return p
+}

@@ -1,0 +1,133 @@
+// Package benchprog re-implements the paper's nine data-structure
+// benchmarks (Table 1) against the engine API. Each benchmark carries a
+// seeded weak-memory bug — a handful of accesses weakened from their
+// correct orders to relaxed, exactly like the C11Tester benchmark suite —
+// and a detection rule (a failed assertion, a post-condition on the final
+// state, and/or a data race that is only reachable through the bug).
+//
+// Wait loops are bounded: a thread that never observes the value it waits
+// for gives up instead of spinning forever, so an execution whose sampled
+// communication relations miss the bug completes without detecting it
+// (this mirrors the paper's discussion of wait loops in §6.2).
+//
+// Every benchmark accepts an "extra relaxed writes" parameter used by the
+// Figure 6 experiment: the writes go to a dummy location and do not affect
+// the program behaviour or the bug depth, but they inflate the program
+// event count k that PCT's change points are sampled from.
+package benchprog
+
+import (
+	"fmt"
+	"sync"
+
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// Benchmark is one weak-memory test program with a seeded bug.
+type Benchmark struct {
+	// Name matches the paper's Table 1 row.
+	Name string
+	// Depth is the concurrency bug depth d (Table 1).
+	Depth int
+	// Table3Depth is the d used for the history-depth sweep (Table 3
+	// lists slightly different depths than Table 1).
+	Table3Depth int
+	// RaceIsBug counts detected data races as bug hits. Races in these
+	// benchmarks are only reachable through the seeded bug, so this is
+	// safe where set.
+	RaceIsBug bool
+	// Build constructs the program with extra inserted relaxed writes
+	// (Figure 6); 0 for the plain benchmark.
+	Build func(extraWrites int) *engine.Program
+	// BuildFixed constructs the correctly synchronized variant (the
+	// seeded orders restored); no strategy should detect anything in it.
+	BuildFixed func() *engine.Program
+	// CheckFinal inspects the final static-location values; returning true
+	// flags a bug. Nil when asserts/races cover detection.
+	CheckFinal func(final map[string]memmodel.Value) bool
+
+	mu    sync.Mutex
+	progs map[int]*engine.Program
+	fixed *engine.Program
+}
+
+// Program returns the (cached) program with the given number of inserted
+// relaxed writes.
+func (b *Benchmark) Program(extraWrites int) *engine.Program {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.progs == nil {
+		b.progs = make(map[int]*engine.Program)
+	}
+	p := b.progs[extraWrites]
+	if p == nil {
+		p = b.Build(extraWrites)
+		b.progs[extraWrites] = p
+	}
+	return p
+}
+
+// FixedProgram returns the (cached) correctly synchronized variant.
+func (b *Benchmark) FixedProgram() *engine.Program {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.fixed == nil {
+		b.fixed = b.BuildFixed()
+	}
+	return b.fixed
+}
+
+// Detect reports whether the outcome exposes the seeded bug.
+func (b *Benchmark) Detect(o *engine.Outcome) bool {
+	if o.BugHit {
+		return true
+	}
+	if b.RaceIsBug && len(o.Races) > 0 {
+		return true
+	}
+	if b.CheckFinal != nil && !o.Aborted && b.CheckFinal(o.FinalValues) {
+		return true
+	}
+	return false
+}
+
+// Options returns the engine options benchmarks run under: races on (the
+// C11Tester behaviour), stop at the first bug.
+func (b *Benchmark) Options() engine.Options {
+	return engine.Options{DetectRaces: true, StopOnBug: true}
+}
+
+// insertExtraWrites emits n relaxed writes to a dummy location. The dummy
+// is never read, so the writes change neither the program behaviour nor
+// the bug depth — they only inflate the event count k (§6.3).
+func insertExtraWrites(t *engine.Thread, dummy memmodel.Loc, n int) {
+	for i := 1; i <= n; i++ {
+		t.Store(dummy, memmodel.Value(i), memmodel.Relaxed)
+	}
+}
+
+// All returns the nine Table-1 benchmarks in the paper's order.
+func All() []*Benchmark {
+	return []*Benchmark{
+		Dekker(),
+		MSQueue(),
+		Barrier(),
+		CLDeque(),
+		MCSLock(),
+		MPMCQueue(),
+		LinuxRWLocks(),
+		RWLock(),
+		Seqlock(),
+	}
+}
+
+// ByName returns the benchmark with the given name.
+func ByName(name string) (*Benchmark, error) {
+	for _, b := range All() {
+		if b.Name == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("benchprog: unknown benchmark %q", name)
+}

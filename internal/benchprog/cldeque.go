@@ -1,0 +1,103 @@
+package benchprog
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// CLDeque is a Chase-Lev work-stealing deque: the owner pushes and pops at
+// the bottom, a thief steals at the top. The correct algorithm publishes
+// pushed elements with a release store of bottom (and steals with acquire
+// loads plus a seq_cst CAS on top); the seeded bug relaxes the thief-facing
+// orders. A thief that observes the owner's bottom update through a single
+// communication relation steals the element without synchronizing, so its
+// read of the buffer races with the owner's plain element write and can
+// observe a stale element — bug depth d = 1.
+func CLDeque() *Benchmark {
+	return &Benchmark{
+		Name:        "cldeque",
+		Depth:       1,
+		Table3Depth: 1,
+		RaceIsBug:   false, // detection is the stale/duplicate-steal post-check
+		Build:       buildCLDeque,
+		BuildFixed: func() *engine.Program {
+			return buildCLDequeOrd(0, memmodel.Release, memmodel.Acquire)
+		},
+		CheckFinal: func(final map[string]memmodel.Value) bool {
+			if final["stole"] != 1 {
+				return false // nothing stolen; nothing to validate
+			}
+			stolen, popped := final["stolen"], final["popped"]
+			if stolen != 11 && stolen != 12 {
+				return true // stale or invented element
+			}
+			return stolen == popped // duplicated element
+		},
+	}
+}
+
+func buildCLDeque(extra int) *engine.Program {
+	return buildCLDequeOrd(extra, memmodel.Relaxed, memmodel.Relaxed)
+}
+
+func buildCLDequeOrd(extra int, pubOrd, subOrd memmodel.Order) *engine.Program {
+	p := engine.NewProgram("cldeque")
+	buf := p.LocArray("buf", 4, 0)
+	top := p.Loc("top", 0)
+	bottom := p.Loc("bottom", 0)
+	stole := p.Loc("stole", 0)
+	stolen := p.Loc("stolen", 0)
+	popped := p.Loc("popped", 0)
+	dummy := p.Loc("dummy", 0)
+
+	bufAt := func(i memmodel.Value) memmodel.Loc { return buf + memmodel.Loc(i%4) }
+
+	// Owner: push 11, push 12, pop.
+	p.AddNamedThread("owner", func(t *engine.Thread) {
+		insertExtraWrites(t, dummy, extra)
+		push := func(v memmodel.Value) {
+			b := t.Load(bottom, memmodel.Relaxed)
+			t.Store(bufAt(b), v, memmodel.NonAtomic) // element: plain write
+			t.Store(bottom, b+1, pubOrd)             // seeded: relaxed instead of release
+		}
+		pop := func() memmodel.Value {
+			b := t.Load(bottom, memmodel.Relaxed) - 1
+			t.Store(bottom, b, pubOrd) // seeded: relaxed instead of seq_cst
+			tp := t.Load(top, subOrd)  // seeded: relaxed instead of seq_cst
+			if b < tp {
+				t.Store(bottom, tp, pubOrd)
+				return 0 // empty
+			}
+			v := t.Load(bufAt(b), memmodel.NonAtomic)
+			if b > tp {
+				return v // no conflict with thieves
+			}
+			// Last element: race with thieves through top.
+			if _, ok := t.CAS(top, tp, tp+1, pubOrd, subOrd); !ok {
+				v = 0
+			}
+			t.Store(bottom, tp+1, pubOrd)
+			return v
+		}
+		push(11)
+		push(12)
+		t.Store(popped, pop(), memmodel.NonAtomic)
+	})
+
+	// Thief: one steal attempt with a bounded wait for work.
+	p.AddNamedThread("thief", func(t *engine.Thread) {
+		tp := t.Load(top, subOrd) // seeded: relaxed instead of acquire
+		b, ok := waitFor(t, bottom, subOrd, 16, func(v memmodel.Value) bool {
+			return v > tp
+		}) // seeded: should be acquire
+		if !ok || b <= tp {
+			return // deque looks empty
+		}
+		v := t.Load(bufAt(tp), memmodel.NonAtomic) // races without the release/acquire pair
+		if _, ok := t.CAS(top, tp, tp+1, pubOrd, subOrd); ok {
+			t.Store(stole, 1, memmodel.NonAtomic)
+			t.Store(stolen, v, memmodel.NonAtomic)
+		}
+	})
+	return p
+}

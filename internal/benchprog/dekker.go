@@ -1,0 +1,86 @@
+package benchprog
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// Dekker is the flag-based mutual-exclusion benchmark. The correct
+// algorithm uses sequentially consistent flag accesses; the seeded bug
+// relaxes them all (the classic weak-memory failure of Dekker/Peterson
+// style locks). With no communication between the threads, both read the
+// other's flag as 0 from their thread-local views and enter the critical
+// section together — bug depth d = 0.
+//
+// Detection: the critical section increments a plain (non-atomic) counter,
+// so a mutual-exclusion violation is both a data race and a lost update
+// (final counter 1 instead of 2).
+func Dekker() *Benchmark {
+	return &Benchmark{
+		Name:        "dekker",
+		Depth:       0,
+		Table3Depth: 1,
+		RaceIsBug:   true,
+		Build:       buildDekker,
+		BuildFixed:  func() *engine.Program { return buildDekkerOrd(0, memmodel.SeqCst) },
+		CheckFinal: func(final map[string]memmodel.Value) bool {
+			// Both threads entered iff both intent flags were raised and
+			// the counter lost an update.
+			return final["entered1"] == 1 && final["entered2"] == 1 && final["count"] < 2
+		},
+	}
+}
+
+func buildDekker(extra int) *engine.Program {
+	return buildDekkerOrd(extra, memmodel.Relaxed)
+}
+
+func buildDekkerOrd(extra int, ord memmodel.Order) *engine.Program {
+	p := engine.NewProgram("dekker")
+	flag1 := p.Loc("flag1", 0)
+	flag2 := p.Loc("flag2", 0)
+	turn := p.Loc("turn", 0)
+	count := p.Loc("count", 0)
+	e1 := p.Loc("entered1", 0)
+	e2 := p.Loc("entered2", 0)
+	dummy := p.Loc("dummy", 0)
+
+	worker := func(my, other memmodel.Loc, myTurn memmodel.Value, entered memmodel.Loc, withExtra bool) engine.ThreadFunc {
+		return func(t *engine.Thread) {
+			defer func() {
+				if withExtra {
+					insertExtraWrites(t, dummy, extra)
+				}
+			}()
+			t.Store(my, 1, ord)
+			if t.Load(other, ord) != 0 {
+				// Contention: consult the turn variable (bounded wait).
+				if t.Load(turn, ord) != myTurn {
+					t.Store(my, 0, ord)
+					for i := 0; i < 4; i++ {
+						if t.Load(turn, ord) == myTurn {
+							break
+						}
+					}
+					t.Store(my, 1, ord)
+				}
+				if t.Load(other, ord) != 0 {
+					// Give up this round: no critical section.
+					t.Store(my, 0, ord)
+					return
+				}
+			}
+			// Critical section: plain accesses, protected only by the
+			// (broken) mutual exclusion.
+			t.Store(entered, 1, memmodel.NonAtomic)
+			v := t.Load(count, memmodel.NonAtomic)
+			t.Store(count, v+1, memmodel.NonAtomic)
+			// Exit protocol.
+			t.Store(turn, 1-myTurn, ord)
+			t.Store(my, 0, ord)
+		}
+	}
+	p.AddNamedThread("T1", worker(flag1, flag2, 0, e1, true))
+	p.AddNamedThread("T2", worker(flag2, flag1, 1, e2, false))
+	return p
+}

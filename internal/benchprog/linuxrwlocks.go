@@ -1,0 +1,76 @@
+package benchprog
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// LinuxRWLocks models the Linux-style counter read-write lock: a writer
+// claims the whole counter with a CAS, readers add one. The writer
+// publishes two protected fields behind two completion flags; the seeded
+// bug relaxes the flag stores and loads (correct: release/acquire), so a
+// reader that chains two communication relations — observing both flags —
+// takes the read lock and reads the fields without happens-before: a data
+// race and stale values. Bug depth d = 2.
+func LinuxRWLocks() *Benchmark {
+	return &Benchmark{
+		Name:        "linuxrwlocks",
+		Depth:       2,
+		Table3Depth: 2,
+		RaceIsBug:   false, // detection is the torn-fields assert
+		Build:       buildLinuxRWLocks,
+		BuildFixed: func() *engine.Program {
+			return buildLinuxRWLocksOrd(0, memmodel.Release, memmodel.Acquire)
+		},
+	}
+}
+
+const rwWriterBias = 100
+
+func buildLinuxRWLocks(extra int) *engine.Program {
+	return buildLinuxRWLocksOrd(extra, memmodel.Relaxed, memmodel.Relaxed)
+}
+
+func buildLinuxRWLocksOrd(extra int, pubOrd, subOrd memmodel.Order) *engine.Program {
+	p := engine.NewProgram("linuxrwlocks")
+	lock := p.Loc("lock", 0) // 0 free, -rwWriterBias writer, +n readers
+	data1 := p.Loc("data1", 0)
+	data2 := p.Loc("data2", 0)
+	done1 := p.Loc("done1", 0)
+	done2 := p.Loc("done2", 0)
+	dummy := p.Loc("dummy", 0)
+
+	p.AddNamedThread("writer", func(t *engine.Thread) {
+		insertExtraWrites(t, dummy, extra)
+		if _, ok := t.CAS(lock, 0, -rwWriterBias, memmodel.AcqRel, memmodel.Relaxed); !ok {
+			return
+		}
+		t.Store(data1, 42, memmodel.NonAtomic)
+		t.Store(done1, 1, pubOrd) // seeded: relaxed instead of release
+		t.Store(data2, 43, memmodel.NonAtomic)
+		t.Store(done2, 1, pubOrd)              // seeded: relaxed instead of release
+		t.FetchAdd(lock, rwWriterBias, pubOrd) // seeded: relaxed instead of release
+
+	})
+	reader := func(t *engine.Thread) {
+		// Phase 1 and 2: wait for both completion flags. Seeded: acquire.
+		if _, ok := waitFor(t, done1, subOrd, 16, eq(1)); !ok {
+			return
+		}
+		if _, ok := waitFor(t, done2, subOrd, 16, eq(1)); !ok {
+			return
+		}
+		// Both fields are (supposedly) published; take the read lock.
+		if t.FetchAdd(lock, 1, memmodel.Acquire) < 0 {
+			// Writer still inside; back out.
+			t.FetchAdd(lock, -1, memmodel.Relaxed)
+			return
+		}
+		v1 := t.Load(data1, memmodel.NonAtomic)
+		v2 := t.Load(data2, memmodel.NonAtomic)
+		t.Assert(v1 == 42 && v2 == 43, "reader saw torn fields: %d, %d", v1, v2)
+		t.FetchAdd(lock, -1, memmodel.Release)
+	}
+	p.AddNamedThread("reader", reader)
+	return p
+}

@@ -1,0 +1,25 @@
+package benchprog
+
+import (
+	"embed"
+	"strings"
+)
+
+//go:embed dekker.go msqueue.go barrier.go cldeque.go mcslock.go mpmcqueue.go linuxrwlocks.go rwlock.go seqlock.go
+var sources embed.FS
+
+// LOC returns the number of non-blank source lines of the named
+// benchmark's implementation file (the Table 1 "LOC" column).
+func LOC(name string) int {
+	data, err := sources.ReadFile(name + ".go")
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,74 @@
+package benchprog
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// MCSLock is a queue lock in the MCS family (CLH-style handoff: each
+// contender enqueues its qnode with an atomic exchange on the lock tail
+// and spins on its predecessor's node). The seeded bug relaxes the handoff
+// (correct: release store of locked=0, acquire spin), so the successor
+// enters the critical section through a single communication relation —
+// reading locked=0 without happens-before. Its critical-section accesses
+// then race with the predecessor's and the protected counter loses an
+// update. Bug depth d = 1.
+func MCSLock() *Benchmark {
+	return &Benchmark{
+		Name:        "mcslock",
+		Depth:       1,
+		Table3Depth: 1,
+		RaceIsBug:   false, // detection is the lost-update post-check
+		Build:       buildMCSLock,
+		BuildFixed: func() *engine.Program {
+			return buildMCSLockOrd(0, memmodel.Acquire, memmodel.Release)
+		},
+		CheckFinal: func(final map[string]memmodel.Value) bool {
+			// Both critical sections ran iff both done flags are set; the
+			// protected counter must then be 2.
+			return final["done1"] == 1 && final["done2"] == 1 && final["count"] < 2
+		},
+	}
+}
+
+func buildMCSLock(extra int) *engine.Program {
+	return buildMCSLockOrd(extra, memmodel.Relaxed, memmodel.Relaxed)
+}
+
+func buildMCSLockOrd(extra int, spinOrd, handoffOrd memmodel.Order) *engine.Program {
+	p := engine.NewProgram("mcslock")
+	tail := p.Loc("lock.tail", 0) // holds the qnode of the last contender; 0 = free
+	count := p.Loc("count", 0)
+	done1 := p.Loc("done1", 0)
+	done2 := p.Loc("done2", 0)
+	dummy := p.Loc("dummy", 0)
+
+	worker := func(done memmodel.Loc, withExtra bool) engine.ThreadFunc {
+		return func(t *engine.Thread) {
+			if withExtra {
+				insertExtraWrites(t, dummy, extra)
+			}
+			my := t.Alloc("qnode", 1)
+			// locked=1 before publication: the exchange releases the node.
+			t.Store(my, 1, memmodel.Relaxed)
+			pred := t.Exchange(tail, memmodel.Value(my), memmodel.AcqRel)
+			acquired := pred == 0
+			if !acquired {
+				// seeded: the handoff spin should be an acquire load.
+				_, acquired = waitFor(t, memmodel.Loc(pred), spinOrd, 16, eq(0))
+			}
+			if !acquired {
+				return // bounded wait exhausted; give up without the lock
+			}
+			// Critical section: plain read-modify-write of the counter.
+			v := t.Load(count, memmodel.NonAtomic)
+			t.Store(count, v+1, memmodel.NonAtomic)
+			t.Store(done, 1, memmodel.NonAtomic)
+			// Handoff: clear our own node for the successor.
+			t.Store(my, 0, handoffOrd) // seeded: relaxed instead of release
+		}
+	}
+	p.AddNamedThread("T1", worker(done1, true))
+	p.AddNamedThread("T2", worker(done2, false))
+	return p
+}

@@ -1,0 +1,64 @@
+package benchprog
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// MPMCQueue is a Vyukov-style bounded multi-producer multi-consumer queue:
+// producers claim a ticket from the tail counter, write the element, and
+// publish it by bumping the cell's sequence number; consumers poll the
+// tail ticket and the cell sequence before reading. The seeded bug relaxes
+// both publications (correct: release stores matched by acquire loads), so
+// a consumer reaches the element through two chained communication
+// relations — observing the producer's ticket, then the cell sequence —
+// without happens-before, and reads a stale element. Bug depth d = 2.
+func MPMCQueue() *Benchmark {
+	return &Benchmark{
+		Name:        "mpmcqueue",
+		Depth:       2,
+		Table3Depth: 2,
+		RaceIsBug:   false, // detection is the stale-element assert
+		Build:       buildMPMCQueue,
+		BuildFixed: func() *engine.Program {
+			return buildMPMCQueueOrd(0, memmodel.Release, memmodel.Acquire)
+		},
+	}
+}
+
+func buildMPMCQueue(extra int) *engine.Program {
+	return buildMPMCQueueOrd(extra, memmodel.Relaxed, memmodel.Relaxed)
+}
+
+func buildMPMCQueueOrd(extra int, pubOrd, subOrd memmodel.Order) *engine.Program {
+	p := engine.NewProgram("mpmcqueue")
+	ptail := p.Loc("tail", 0) // producer ticket counter
+	phead := p.Loc("head", 0) // consumer ticket counter
+	cellSeq := p.Loc("cell0.seq", 0)
+	cellData := p.Loc("cell0.data", 0)
+	dummy := p.Loc("dummy", 0)
+
+	p.AddNamedThread("producer", func(t *engine.Thread) {
+		insertExtraWrites(t, dummy, extra)
+		pos := t.FetchAdd(ptail, 1, memmodel.Relaxed) // claim ticket 0
+		if pos != 0 {
+			return
+		}
+		t.Store(cellData, 42, memmodel.NonAtomic)
+		t.Store(cellSeq, pos+1, pubOrd) // seeded: relaxed instead of release
+	})
+	p.AddNamedThread("consumer", func(t *engine.Thread) {
+		// Phase 1: wait for the producer's ticket. Seeded: should be acquire.
+		if _, ok := waitFor(t, ptail, subOrd, 16, eq(1)); !ok {
+			return // nothing produced in this thread's view
+		}
+		// Phase 2: wait for the cell publication. Seeded: should be acquire.
+		if _, ok := waitFor(t, cellSeq, subOrd, 16, eq(1)); !ok {
+			return // cell never published in this thread's view
+		}
+		v := t.Load(cellData, memmodel.NonAtomic)
+		t.Assert(v == 42, "consumer dequeued a stale element: %d", v)
+		t.FetchAdd(phead, 1, memmodel.Relaxed)
+	})
+	return p
+}

@@ -1,0 +1,121 @@
+package benchprog
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// msqueue node layout: a node is two consecutive locations.
+const (
+	nodeVal  = 0 // payload cell
+	nodeNext = 1 // next pointer cell (0 = nil)
+	nodeSize = 2
+)
+
+// MSQueue is a Michael-Scott lock-free queue with the publication orders
+// seeded to relaxed (the correct algorithm publishes nodes with a release
+// CAS and walks them with acquire loads). Two enqueuers race to link their
+// nodes after the shared dummy node; the loser's CAS is forced to observe
+// the winner's link (RMW atomicity), after which it walks to the winner's
+// freshly allocated node without synchronization — its accesses race with
+// the winner's plain initialization writes. No strategy-controlled
+// communication is required, hence bug depth d = 0.
+//
+// A consumer additionally dequeues twice; post-checks catch duplicate or
+// invented elements.
+func MSQueue() *Benchmark {
+	return &Benchmark{
+		Name:        "msqueue",
+		Depth:       0,
+		Table3Depth: 0,
+		RaceIsBug:   true,
+		Build:       buildMSQueue,
+		BuildFixed: func() *engine.Program {
+			return buildMSQueueOrd(0, memmodel.Release, memmodel.Acquire)
+		},
+		CheckFinal: func(final map[string]memmodel.Value) bool {
+			a, b := final["deq1"], final["deq2"]
+			if a != 0 && a == b {
+				return true // duplicate dequeue
+			}
+			valid := func(v memmodel.Value) bool { return v == 0 || v == 101 || v == 102 }
+			return !valid(a) || !valid(b)
+		},
+	}
+}
+
+// msqEnqueue links a new node carrying v at the tail. The atomic orders
+// are the seeded relaxed ones (comments give the correct orders).
+func msqEnqueue(t *engine.Thread, head, tail memmodel.Loc, v memmodel.Value, pubOrd, subOrd memmodel.Order) {
+	node := t.Alloc("node", nodeSize)
+	t.Store(node+nodeVal, v, memmodel.NonAtomic) // payload: plain write before publication
+	t.Store(node+nodeNext, 0, memmodel.Relaxed)
+	for i := 0; i < 8; i++ {
+		last := memmodel.Loc(t.Load(tail, subOrd)) // seeded: relaxed instead of acquire
+		next := t.Load(last+nodeNext, subOrd)      // seeded: relaxed instead of acquire
+		if next == 0 {
+			if _, ok := t.CAS(last+nodeNext, 0, memmodel.Value(node), pubOrd, subOrd); ok { // seeded: relaxed instead of release
+				t.CAS(tail, memmodel.Value(last), memmodel.Value(node), pubOrd, subOrd)
+				return
+			}
+		} else {
+			// Help swing the tail.
+			t.CAS(tail, memmodel.Value(last), next, pubOrd, subOrd)
+		}
+	}
+}
+
+// msqDequeue unlinks the node after head and returns its payload (0 when
+// the queue looks empty).
+func msqDequeue(t *engine.Thread, head, tail memmodel.Loc, pubOrd, subOrd memmodel.Order) memmodel.Value {
+	for i := 0; i < 8; i++ {
+		first := memmodel.Loc(t.Load(head, subOrd)) // seeded: relaxed instead of acquire
+		last := memmodel.Loc(t.Load(tail, subOrd))
+		next := t.Load(first+nodeNext, subOrd) // seeded: relaxed instead of acquire
+		if first == last {
+			if next == 0 {
+				return 0 // empty
+			}
+			t.CAS(tail, memmodel.Value(last), next, pubOrd, subOrd)
+			continue
+		}
+		if next == 0 {
+			continue
+		}
+		if _, ok := t.CAS(head, memmodel.Value(first), next, pubOrd, subOrd); ok {
+			return t.Load(memmodel.Loc(next)+nodeVal, memmodel.NonAtomic)
+		}
+	}
+	return 0
+}
+
+func buildMSQueue(extra int) *engine.Program {
+	return buildMSQueueOrd(extra, memmodel.Relaxed, memmodel.Relaxed)
+}
+
+func buildMSQueueOrd(extra int, pubOrd, subOrd memmodel.Order) *engine.Program {
+	p := engine.NewProgram("msqueue")
+	// The dummy node is static so the initialized queue is part of every
+	// thread's initial view (the paper's benchmarks run make_queue before
+	// spawning workers).
+	dummyNode := p.Loc("dummy0.val", 0)
+	p.Loc("dummy0.next", 0) // dummyNode+nodeNext
+	head := p.Loc("head", memmodel.Value(dummyNode))
+	tail := p.Loc("tail", memmodel.Value(dummyNode))
+	deq1 := p.Loc("deq1", 0)
+	deq2 := p.Loc("deq2", 0)
+	extraLoc := p.Loc("extra", 0)
+
+	p.AddNamedThread("enq1", func(t *engine.Thread) {
+		insertExtraWrites(t, extraLoc, extra)
+		msqEnqueue(t, head, tail, 101, pubOrd, subOrd)
+	})
+	p.AddNamedThread("enq2", func(t *engine.Thread) {
+		msqEnqueue(t, head, tail, 102, pubOrd, subOrd)
+	})
+	p.AddNamedThread("deq", func(t *engine.Thread) {
+		t.Store(deq1, msqDequeue(t, head, tail, pubOrd, subOrd), memmodel.NonAtomic)
+		t.Store(deq2, msqDequeue(t, head, tail, pubOrd, subOrd), memmodel.NonAtomic)
+	})
+	return p
+}

@@ -1,0 +1,74 @@
+package benchprog
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// P1 is the paper's Program P1 (§2.2): one thread writes X = 1…k, the
+// other asserts it does not read X = k. The bug has depth d = 1 — a single
+// communication of the final write to the read. With history depth h,
+// PCTWM detects it with probability ≈ 1/h once the read is chosen as the
+// communication sink (§3.3: d=1, h=2 detects with probability 1/2).
+//
+// The paper states all accesses in P1 are sc; our engine gives SC events a
+// global SC view (Algorithm 2, getSC) that is stronger than the C11Tester
+// acyclicity axiom and pins a delayed SC read to the mo-maximal write, so
+// this reproduction uses relaxed accesses — the communication structure
+// and the §3.3 probabilities are identical.
+func P1(k int) *Benchmark {
+	return &Benchmark{
+		Name:        "p1",
+		Depth:       1,
+		Table3Depth: 1,
+		Build: func(extra int) *engine.Program {
+			p := engine.NewProgram("p1")
+			x := p.Loc("X", 0)
+			dummy := p.Loc("dummy", 0)
+			p.AddNamedThread("T1", func(t *engine.Thread) {
+				insertExtraWrites(t, dummy, extra)
+				for i := 1; i <= k; i++ {
+					t.Store(x, memmodel.Value(i), memmodel.Relaxed)
+				}
+			})
+			p.AddNamedThread("T2", func(t *engine.Thread) {
+				v := t.Load(x, memmodel.Relaxed)
+				t.Assert(v != memmodel.Value(k), "read X=%d", v)
+			})
+			return p
+		},
+	}
+}
+
+// MP2 is the paper's Program MP2 (§5.3): a three-thread relaxed
+// message-passing chain whose assertion violation (Y==1 read while X==0)
+// has bug depth d = 2 (Figure 4's execution with sinks [e2, e4]).
+func MP2() *Benchmark {
+	return &Benchmark{
+		Name:        "mp2",
+		Depth:       2,
+		Table3Depth: 2,
+		Build: func(extra int) *engine.Program {
+			p := engine.NewProgram("mp2")
+			x := p.Loc("X", 0)
+			y := p.Loc("Y", 0)
+			dummy := p.Loc("dummy", 0)
+			p.AddNamedThread("T1", func(t *engine.Thread) {
+				insertExtraWrites(t, dummy, extra)
+				t.Store(x, 1, memmodel.Relaxed)
+			})
+			p.AddNamedThread("T2", func(t *engine.Thread) {
+				if t.Load(x, memmodel.Relaxed) == 1 {
+					t.Store(y, 1, memmodel.Relaxed)
+				}
+			})
+			p.AddNamedThread("T3", func(t *engine.Thread) {
+				if t.Load(y, memmodel.Relaxed) == 1 {
+					v := t.Load(x, memmodel.Relaxed)
+					t.Assert(v != 0, "Y==1 but X==0")
+				}
+			})
+			return p
+		},
+	}
+}

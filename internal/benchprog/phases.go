@@ -1,0 +1,24 @@
+package benchprog
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// waitFor polls loc with the given order until pred accepts the value,
+// giving up after bound attempts. It returns the accepted value and
+// whether the wait succeeded. This is the bounded wait-loop idiom shared
+// by the benchmarks: a thread whose sampled communication relations never
+// deliver the awaited value completes without reaching the bug (§6.2).
+func waitFor(t *engine.Thread, loc memmodel.Loc, ord memmodel.Order, bound int, pred func(memmodel.Value) bool) (memmodel.Value, bool) {
+	for i := 0; i < bound; i++ {
+		if v := t.Load(loc, ord); pred(v) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func eq(want memmodel.Value) func(memmodel.Value) bool {
+	return func(v memmodel.Value) bool { return v == want }
+}

@@ -1,0 +1,62 @@
+package benchprog
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// RWLock is an epoch-stamped reader-writer lock: the writer takes the lock
+// word from 0 (free) to 1 (held) with a CAS and releases it to 2 ("free,
+// epoch 1") so readers can tell whether the writer already ran. The seeded
+// bug relaxes the writer's publication chain (completion counter and
+// epoch release; correct: release stores with acquire loads), so a reader
+// that chains two communication relations — observing the completion
+// counter, then the released epoch — enters its read section without
+// happens-before and sees stale protected data. Bug depth d = 2.
+func RWLock() *Benchmark {
+	return &Benchmark{
+		Name:        "rwlock",
+		Depth:       2,
+		Table3Depth: 3,
+		RaceIsBug:   false, // detection is the stale-data assert
+		Build:       buildRWLock,
+		BuildFixed: func() *engine.Program {
+			return buildRWLockOrd(0, memmodel.Release, memmodel.Acquire)
+		},
+	}
+}
+
+func buildRWLock(extra int) *engine.Program {
+	return buildRWLockOrd(extra, memmodel.Relaxed, memmodel.Relaxed)
+}
+
+func buildRWLockOrd(extra int, pubOrd, subOrd memmodel.Order) *engine.Program {
+	p := engine.NewProgram("rwlock")
+	lock := p.Loc("lock", 0) // 0 free, 1 writer, 2 free after epoch 1
+	wcount := p.Loc("wcount", 0)
+	data := p.Loc("data", 0)
+	dummy := p.Loc("dummy", 0)
+
+	p.AddNamedThread("writer", func(t *engine.Thread) {
+		insertExtraWrites(t, dummy, extra)
+		if _, ok := t.CAS(lock, 0, 1, memmodel.AcqRel, memmodel.Relaxed); !ok {
+			return
+		}
+		t.Store(data, 42, memmodel.NonAtomic)
+		t.Store(wcount, 1, pubOrd) // seeded: relaxed instead of release
+		t.Store(lock, 2, pubOrd)   // seeded: relaxed instead of release
+	})
+	p.AddNamedThread("reader", func(t *engine.Thread) {
+		// Phase 1: wait for the completed-writes counter. Seeded: acquire.
+		if _, ok := waitFor(t, wcount, subOrd, 16, eq(1)); !ok {
+			return
+		}
+		// Phase 2: wait for the epoch-1 release. Seeded: acquire.
+		if _, ok := waitFor(t, lock, subOrd, 16, eq(2)); !ok {
+			return
+		}
+		v := t.Load(data, memmodel.NonAtomic)
+		t.Assert(v == 42, "reader entered epoch 1 but sees stale data: %d", v)
+	})
+	return p
+}

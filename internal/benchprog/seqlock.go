@@ -1,0 +1,115 @@
+package benchprog
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// Seqlock is a sequence lock: the writer brackets its updates of two data
+// words with sequence-counter increments (odd = write in progress); a
+// reader retries until it sees the same even sequence before and after
+// reading both words. The seeded bug relaxes the entire protocol (correct:
+// release stores of the sequence, acquire loads, or fences), so a reader
+// can observe a torn snapshot that *looks* consistent: it needs three
+// chained communication relations — the writer-ready flag, the final even
+// sequence, and one (but not both) of the data words — while the second
+// sequence read is satisfied by the thread-local view. Bug depth d = 3.
+//
+// All protected accesses are atomic (the classic C11 seqlock formulation),
+// so there are no data races; detection is purely the consistency assert.
+func Seqlock() *Benchmark {
+	return &Benchmark{
+		Name:        "seqlock",
+		Depth:       3,
+		Table3Depth: 4,
+		RaceIsBug:   false,
+		Build:       buildSeqlock,
+		BuildFixed:  buildSeqlockFixed,
+	}
+}
+
+// buildSeqlockFixed is the correctly synchronized seqlock (Boehm 2012):
+// the writer brackets its relaxed data stores with a relaxed odd-seq
+// store + release fence and a release even-seq store; the reader loads
+// the sequence with acquire, reads the data relaxed, and validates after
+// an acquire fence.
+func buildSeqlockFixed() *engine.Program {
+	p := engine.NewProgram("seqlock-fixed")
+	ready := p.Loc("ready", 0)
+	seq := p.Loc("seq", 0)
+	d1 := p.Loc("d1", 0)
+	d2 := p.Loc("d2", 0)
+
+	p.AddNamedThread("writer", func(t *engine.Thread) {
+		t.Store(ready, 1, memmodel.Relaxed)
+		t.Store(seq, 1, memmodel.Relaxed)
+		t.Fence(memmodel.Release)
+		t.Store(d1, 10, memmodel.Relaxed)
+		t.Store(d2, 10, memmodel.Relaxed)
+		t.Store(seq, 2, memmodel.Release)
+	})
+	reader := func(t *engine.Thread) {
+		if _, ok := waitFor(t, ready, memmodel.Relaxed, 8, eq(1)); !ok {
+			return
+		}
+		s1, ok := waitFor(t, seq, memmodel.Acquire, 16, func(v memmodel.Value) bool {
+			return v != 0 && v%2 == 0
+		})
+		if !ok {
+			return
+		}
+		v1 := t.Load(d1, memmodel.Relaxed)
+		v2 := t.Load(d2, memmodel.Relaxed)
+		t.Fence(memmodel.Acquire)
+		s2 := t.Load(seq, memmodel.Relaxed)
+		if s2 != s1 {
+			return // writer interfered; a real reader would retry
+		}
+		t.Assert(v1 == v2, "seqlock reader accepted a torn snapshot: d1=%d d2=%d (seq %d)", v1, v2, s1)
+	}
+	p.AddNamedThread("reader1", reader)
+	p.AddNamedThread("reader2", reader)
+	return p
+}
+
+func buildSeqlock(extra int) *engine.Program {
+	p := engine.NewProgram("seqlock")
+	ready := p.Loc("ready", 0)
+	seq := p.Loc("seq", 0)
+	d1 := p.Loc("d1", 0)
+	d2 := p.Loc("d2", 0)
+	dummy := p.Loc("dummy", 0)
+
+	p.AddNamedThread("writer", func(t *engine.Thread) {
+		insertExtraWrites(t, dummy, extra)
+		t.Store(ready, 1, memmodel.Relaxed)
+		t.Store(seq, 1, memmodel.Relaxed) // seeded: should be release/fenced
+		t.Store(d1, 10, memmodel.Relaxed)
+		t.Store(d2, 10, memmodel.Relaxed)
+		t.Store(seq, 2, memmodel.Relaxed) // seeded: should be release
+	})
+	reader := func(t *engine.Thread) {
+		// Phase 1: wait until the writer has started.
+		if _, ok := waitFor(t, ready, memmodel.Relaxed, 8, eq(1)); !ok {
+			return
+		}
+		// Phase 2: wait for an even, non-zero sequence. Seeded: acquire.
+		s1, ok := waitFor(t, seq, memmodel.Relaxed, 16, func(v memmodel.Value) bool {
+			return v != 0 && v%2 == 0
+		})
+		if !ok {
+			return
+		}
+		// Phase 3: read the snapshot and validate the sequence.
+		v1 := t.Load(d1, memmodel.Relaxed)
+		v2 := t.Load(d2, memmodel.Relaxed)
+		s2 := t.Load(seq, memmodel.Relaxed) // seeded: should be acquire/fenced
+		if s2 != s1 {
+			return // writer interfered; a real reader would retry
+		}
+		t.Assert(v1 == v2, "seqlock reader accepted a torn snapshot: d1=%d d2=%d (seq %d)", v1, v2, s1)
+	}
+	p.AddNamedThread("reader1", reader)
+	p.AddNamedThread("reader2", reader)
+	return p
+}

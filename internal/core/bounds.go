@@ -1,0 +1,24 @@
+package core
+
+import "math"
+
+// PCTBound returns the original PCT lower bound on the probability of
+// detecting a bug of depth d in a program with t threads and k events:
+// 1/(t·k^(d−1)) (paper §2.2).
+func PCTBound(t, k, d int) float64 {
+	if t < 1 || k < 1 || d < 1 {
+		return 0
+	}
+	return 1 / (float64(t) * math.Pow(float64(k), float64(d-1)))
+}
+
+// PCTWMBound returns the PCTWM lower bound on the probability of sampling
+// a target execution with d communication relations within history depth
+// h in a program with kcom communication events: 1/(h·kcom)^d (paper
+// §5.4; the sample set has at most (kcom^d)·(h^d) executions).
+func PCTWMBound(kcom, d, h int) float64 {
+	if kcom < 1 || h < 1 || d < 0 {
+		return 0
+	}
+	return 1 / math.Pow(float64(h*kcom), float64(d))
+}

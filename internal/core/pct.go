@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// PCT is the paper's weak-memory-aware variant of the classic PCT priority
+// scheduler (Burckhardt et al., ASPLOS 2010): threads run in a random
+// priority order, priorities drop at d−1 change points sampled uniformly
+// among the k program events, and — unlike original PCT, which forces SC —
+// reads observe a value selected uniformly at random among the
+// coherence-legal visible writes (paper §6, "Implementation": "our
+// implementation does not produce only sequentially consistent executions").
+type PCT struct {
+	// Depth is the bug-depth parameter d.
+	Depth int
+	// Events is the estimated number of program events k.
+	Events int
+
+	rng *rand.Rand
+
+	prio      map[memmodel.ThreadID]int
+	counter   int         // executed events so far
+	changeAt  map[int]int // event count -> change-point rank (1..d-1)
+	minPrio   int
+	highBase  int
+	highCount int
+}
+
+// NewPCT returns a PCT strategy with bug depth d and an estimate k of the
+// number of program events.
+func NewPCT(d, k int) *PCT {
+	if d < 1 {
+		d = 1
+	}
+	if k < 1 {
+		k = 1
+	}
+	return &PCT{Depth: d, Events: k}
+}
+
+// Name implements engine.Strategy.
+func (s *PCT) Name() string { return "pct" }
+
+// Begin implements engine.Strategy.
+func (s *PCT) Begin(info engine.ProgramInfo, r *rand.Rand) {
+	s.rng = r
+	s.prio = make(map[memmodel.ThreadID]int, info.NumRootThreads)
+	s.counter = 0
+	s.highBase = s.Depth + 1
+	s.highCount = 0
+	s.minPrio = 0
+	// Sample d−1 distinct change points from [1, k].
+	s.changeAt = make(map[int]int, s.Depth-1)
+	if s.Depth > 1 {
+		pts := sampleDistinct(s.rng, s.Depth-1, s.Events)
+		for rank, p := range pts {
+			s.changeAt[p] = rank + 1
+		}
+	}
+}
+
+// sampleDistinct samples n distinct integers from [1, max] (fewer when
+// max < n), in random order.
+func sampleDistinct(r *rand.Rand, n, max int) []int {
+	if n > max {
+		n = max
+	}
+	perm := r.Perm(max)
+	pts := make([]int, n)
+	for i := 0; i < n; i++ {
+		pts[i] = perm[i] + 1
+	}
+	return pts
+}
+
+// OnThreadStart assigns a fresh random high priority.
+func (s *PCT) OnThreadStart(tid, _ memmodel.ThreadID) {
+	s.highCount++
+	// A random rank among the high band; ties broken by thread id in
+	// NextThread, so reused ranks are harmless.
+	s.prio[tid] = s.highBase + s.rng.Intn(s.highCount*2)
+}
+
+// NextThread runs the highest-priority enabled thread.
+func (s *PCT) NextThread(enabled []engine.PendingOp) memmodel.ThreadID {
+	best := enabled[0].TID
+	bestPrio := s.prio[best]
+	for _, op := range enabled[1:] {
+		if p := s.prio[op.TID]; p > bestPrio {
+			best, bestPrio = op.TID, p
+		}
+	}
+	return best
+}
+
+// PickRead observes a value selected uniformly among the legal candidates
+// (the weak-memory behavior of the paper's PCT variant).
+func (s *PCT) PickRead(rc engine.ReadContext) int {
+	return s.rng.Intn(len(rc.Candidates))
+}
+
+// OnEvent advances the event counter and applies priority change points.
+func (s *PCT) OnEvent(ev memmodel.Event) {
+	if !ev.Label.Kind.IsMemoryAccess() && ev.Label.Kind != memmodel.KindFence {
+		return
+	}
+	s.counter++
+	if rank, ok := s.changeAt[s.counter]; ok {
+		// Drop the current thread's priority to d − rank, below every
+		// initial priority; later change points sit lower still.
+		s.prio[ev.TID] = s.Depth - rank
+	}
+}
+
+// OnSpin demotes a livelocked thread below every other priority so the
+// rest of the system can make progress (the starvation heuristic of the
+// original PCT, §6.2).
+func (s *PCT) OnSpin(tid memmodel.ThreadID) {
+	s.minPrio--
+	s.prio[tid] = s.minPrio
+}

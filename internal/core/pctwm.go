@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math/rand"
+
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// eventKey identifies a (possibly not yet executed) event: the thread and
+// its po index. Pending operations expose the same identity, so an event
+// delayed by Algorithm 1 is recognized again when its thread resumes.
+type eventKey struct {
+	tid   memmodel.ThreadID
+	index int
+}
+
+// PCTWM is the paper's Probabilistic Concurrency Testing for Weak Memory
+// algorithm (Algorithm 1). It samples an execution with d communication
+// relations whose source events lie within history depth h:
+//
+//   - threads run serially in a random priority order;
+//   - the d1…dd-th communication events encountered (indices sampled from
+//     [1, kcom]) are delayed by demoting their threads into d reserved
+//     low-priority slots, so they execute as late as possible and in tuple
+//     order;
+//   - a delayed ("reordered") read reads from one of the h mo-maximal
+//     legal writes, uniformly (readGlobal); every other read reads from
+//     its thread-local view (readLocal).
+type PCTWM struct {
+	// Depth is the bug-depth parameter d (number of communication
+	// relations to sample).
+	Depth int
+	// History is the history-depth parameter h (Definition 5).
+	History int
+	// CommEvents is the estimated number of communication events kcom.
+	CommEvents int
+
+	rng *rand.Rand
+
+	prio     map[memmodel.ThreadID]int
+	sampled  map[int]int // communication-event index -> tuple position k (1-based)
+	counted  map[eventKey]bool
+	reorder  map[eventKey]bool
+	escape   map[memmodel.ThreadID]bool
+	spins    map[memmodel.ThreadID]int
+	sticky   map[memmodel.ThreadID]bool
+	commSeen int
+	minPrio  int
+	highBase int
+	highN    int
+}
+
+// stickyEscapeAfter is the number of livelock notifications for one
+// thread after which PCTWM stops restricting that thread's reads
+// altogether. §6.2: "the more thread switches and external reads-from
+// PCTWM employs to avoid a livelock, the more it approaches naive random
+// testing".
+const stickyEscapeAfter = 3
+
+// NewPCTWM returns a PCTWM strategy with bug depth d, history depth h and
+// an estimate kcom of the number of communication events.
+func NewPCTWM(d, h, kcom int) *PCTWM {
+	if d < 0 {
+		d = 0
+	}
+	if h < 1 {
+		h = 1
+	}
+	if kcom < 1 {
+		kcom = 1
+	}
+	return &PCTWM{Depth: d, History: h, CommEvents: kcom}
+}
+
+// Name implements engine.Strategy.
+func (s *PCTWM) Name() string { return "pctwm" }
+
+// Begin samples the d communication-event indices [d1…dd] uniformly from
+// [1, kcom] (Algorithm 1, Data).
+func (s *PCTWM) Begin(info engine.ProgramInfo, r *rand.Rand) {
+	s.rng = r
+	s.prio = make(map[memmodel.ThreadID]int, info.NumRootThreads)
+	s.counted = make(map[eventKey]bool)
+	s.reorder = make(map[eventKey]bool)
+	s.escape = make(map[memmodel.ThreadID]bool)
+	s.spins = make(map[memmodel.ThreadID]int)
+	s.sticky = make(map[memmodel.ThreadID]bool)
+	s.commSeen = 0
+	s.minPrio = 0
+	s.highBase = s.Depth + 1
+	s.highN = 0
+	s.sampled = make(map[int]int, s.Depth)
+	for k, idx := range sampleDistinct(r, s.Depth, s.CommEvents) {
+		s.sampled[idx] = k + 1
+	}
+}
+
+// OnThreadStart gives every new thread a random priority above the d
+// reserved slots (Algorithm 1, line 3).
+func (s *PCTWM) OnThreadStart(tid, _ memmodel.ThreadID) {
+	s.highN++
+	s.prio[tid] = s.highBase + s.rng.Intn(s.highN*2)
+}
+
+func (s *PCTWM) highestPriority(enabled []engine.PendingOp) engine.PendingOp {
+	best := enabled[0]
+	bestPrio := s.prio[best.TID]
+	for _, op := range enabled[1:] {
+		if p := s.prio[op.TID]; p > bestPrio {
+			best, bestPrio = op, p
+		}
+	}
+	return best
+}
+
+// NextThread implements the scheduling loop of Algorithm 1 (lines 2-13):
+// repeatedly take the highest-priority enabled thread; when its pending
+// event is a communication event whose running index was sampled, demote
+// the thread into reserved slot d−k+1 (so the delayed events run as late
+// as possible, in tuple order) and pick again. An already-delayed event is
+// executed when its thread surfaces again as the highest priority.
+func (s *PCTWM) NextThread(enabled []engine.PendingOp) memmodel.ThreadID {
+	for {
+		op := s.highestPriority(enabled)
+		key := eventKey{op.TID, op.Index}
+		if !op.IsCommunicationEvent() || s.counted[key] {
+			return op.TID
+		}
+		s.counted[key] = true
+		s.commSeen++
+		k, hit := s.sampled[s.commSeen]
+		if !hit {
+			return op.TID
+		}
+		// Delay: move the thread into reserved slot d−k+1 and mark the
+		// event as a communication sink (lines 9-13).
+		s.prio[op.TID] = s.Depth - k + 1
+		s.reorder[key] = true
+		// If this thread was the only enabled one, it must run anyway;
+		// the counted-set guard above returns it on the next iteration.
+	}
+}
+
+// PickRead implements readLocal / readGlobal (Algorithm 2 lines 9-19):
+// reordered events read from one of the h mo-maximal candidates uniformly;
+// all other reads take the thread-local view write (Candidates[0]). A
+// thread flagged by the livelock heuristic escapes through a fully random
+// read once, approaching naive random testing (§6.2).
+func (s *PCTWM) PickRead(rc engine.ReadContext) int {
+	n := len(rc.Candidates)
+	if s.sticky[rc.TID] {
+		return s.rng.Intn(n)
+	}
+	if s.escape[rc.TID] {
+		s.escape[rc.TID] = false
+		return s.rng.Intn(n)
+	}
+	if s.reorder[eventKey{rc.TID, rc.Index}] {
+		h := s.History
+		if h > n {
+			h = n
+		}
+		return n - 1 - s.rng.Intn(h)
+	}
+	return 0
+}
+
+// OnEvent implements engine.Strategy. Communication events are counted at
+// scheduling time (NextThread), matching Algorithm 1's encounter order.
+func (s *PCTWM) OnEvent(memmodel.Event) {}
+
+// OnSpin demotes a livelocked thread below every priority and lets its
+// next read pick any visible write (§6.2: "PCTWM applies a heuristic to
+// switch to a random thread when it observes a livelock"). A thread that
+// keeps livelocking is released from view-restricted reads entirely,
+// degrading gracefully to naive random testing.
+func (s *PCTWM) OnSpin(tid memmodel.ThreadID) {
+	s.minPrio--
+	s.prio[tid] = s.minPrio
+	s.escape[tid] = true
+	s.spins[tid]++
+	if s.spins[tid] >= stickyEscapeAfter {
+		s.sticky[tid] = true
+	}
+}

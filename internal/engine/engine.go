@@ -1,0 +1,342 @@
+// Package engine executes weak-memory test programs under the control of a
+// pluggable testing strategy. It is the repository's substitute for the
+// C11Tester framework the paper builds on: threads are fully serialized,
+// every read consults the strategy for which coherence-legal write to read
+// from, and thread views / message bags implement the paper's Algorithm 2
+// semantics for the C11 memory model of §4.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"pctwm/internal/memmodel"
+	"pctwm/internal/race"
+	"pctwm/internal/vclock"
+)
+
+// Engine runs one execution of a program under a strategy. Create a fresh
+// Engine per run via Run; an Engine is not reusable.
+type Engine struct {
+	prog  *Program
+	strat Strategy
+	opts  Options
+	rng   *rand.Rand
+
+	locs     []location // index = Loc-1
+	locNames map[memmodel.Loc]string
+
+	threads map[memmodel.ThreadID]*Thread
+	nextTID memmodel.ThreadID
+
+	parkCh chan *Thread
+	doneCh chan threadDone
+	killed chan struct{}
+	wg     sync.WaitGroup
+
+	// global SC synchronization state (paper §4 (SC) axiom, operationally:
+	// every SC event joins and then extends the global SC view).
+	scView memmodel.View
+	scVC   vclock.VC
+
+	nextEventID memmodel.EventID
+	outcome     Outcome
+	rec         *Recording
+	det         *race.Detector
+
+	stepsSinceProgress int
+	stopped            bool
+}
+
+type threadDone struct {
+	tid      memmodel.ThreadID
+	panicked bool
+	panicVal any
+}
+
+// Run executes prog once under strat with the given random seed and
+// options, returning the outcome. The seed drives only the strategy's
+// decisions; the engine itself is deterministic.
+func Run(prog *Program, strat Strategy, seed int64, opts Options) *Outcome {
+	if prog.NumThreads() == 0 {
+		panic(fmt.Sprintf("pctwm: program %q has no threads", prog.Name()))
+	}
+	prog.sealed.Store(true)
+	e := &Engine{
+		prog:     prog,
+		strat:    strat,
+		opts:     opts.withDefaults(),
+		rng:      rand.New(rand.NewSource(seed)),
+		locNames: make(map[memmodel.Loc]string),
+		threads:  make(map[memmodel.ThreadID]*Thread),
+		parkCh:   make(chan *Thread),
+		doneCh:   make(chan threadDone),
+		killed:   make(chan struct{}),
+	}
+	if e.opts.Record {
+		e.rec = &Recording{LocNames: e.locNames}
+	}
+	if e.opts.DetectRaces {
+		e.det = race.NewDetector(e.locName, e.opts.MaxRaces)
+	}
+	start := time.Now()
+	e.run()
+	e.outcome.Duration = time.Since(start)
+	e.outcome.Recording = e.rec
+	if e.det != nil {
+		e.outcome.Races = e.det.Races()
+	}
+	e.outcome.FinalValues = e.finalValues()
+	return &e.outcome
+}
+
+func (e *Engine) locName(l memmodel.Loc) string {
+	if n, ok := e.locNames[l]; ok {
+		return n
+	}
+	return fmt.Sprintf("x%d", l)
+}
+
+func (e *Engine) run() {
+	defer e.teardown()
+
+	initView, initVC := e.initMemory()
+
+	// Start root threads; they inherit the init thread's view (the spawn
+	// of root threads synchronizes with initialization).
+	lastInit := memmodel.NoEvent
+	if e.nextEventID > 0 {
+		lastInit = e.nextEventID - 1
+	}
+	roots := make([]*Thread, 0, len(e.prog.threads))
+	for _, rt := range e.prog.threads {
+		t := e.newThread(rt.name, initView, initVC)
+		roots = append(roots, t)
+		if e.rec != nil {
+			e.rec.SpawnLinks = append(e.rec.SpawnLinks, SpawnLink{From: lastInit, Child: t.id})
+		}
+		e.startThread(t, rt.fn)
+	}
+
+	e.strat.Begin(ProgramInfo{
+		Name:           e.prog.Name(),
+		NumRootThreads: len(roots),
+	}, e.rng)
+	for _, t := range roots {
+		e.strat.OnThreadStart(t.id, memmodel.InitThread)
+	}
+
+	for !e.stopped {
+		enabled := e.enabledOps()
+		if len(enabled) == 0 {
+			if e.liveThreads() > 0 {
+				e.outcome.Deadlocked = true
+			}
+			return
+		}
+		if e.outcome.Steps >= e.opts.MaxSteps {
+			e.outcome.Aborted = true
+			return
+		}
+		tid := e.strat.NextThread(enabled)
+		t := e.threads[tid]
+		if t == nil || !e.isEnabled(t) {
+			panic(fmt.Sprintf("pctwm: strategy %s chose non-enabled thread %d", e.strat.Name(), tid))
+		}
+		e.outcome.Steps++
+		e.stepsSinceProgress++
+		e.execute(t)
+		if e.stepsSinceProgress >= e.opts.StallWindow {
+			e.stepsSinceProgress = 0
+			e.strat.OnSpin(tid)
+		}
+	}
+}
+
+// initMemory creates the initialization writes (thread 0) and returns the
+// view/clock every root thread inherits.
+func (e *Engine) initMemory() (memmodel.View, vclock.VC) {
+	var view memmodel.View
+	var vc vclock.VC
+	e.locs = make([]location, 0, len(e.prog.locs))
+	for i, d := range e.prog.locs {
+		l := memmodel.Loc(i + 1)
+		e.locNames[l] = d.name
+		vc.Tick(int(memmodel.InitThread))
+		ev := e.newEvent(memmodel.InitThread, i, memmodel.Label{
+			Kind:  memmodel.KindWrite,
+			Order: memmodel.Relaxed,
+			Loc:   l,
+			WVal:  d.init,
+		})
+		ev.Stamp = 1
+		e.record(ev)
+		var bag memmodel.View
+		bag.Set(l, 1)
+		e.locs = append(e.locs, location{
+			name: d.name,
+			mo: []message{{
+				stamp: 1, val: d.init,
+				tid: memmodel.InitThread, event: ev.ID,
+				bag: bag, relVC: vc.Clone(),
+			}},
+		})
+		view.Set(l, 1)
+	}
+	return view, vc
+}
+
+func (e *Engine) newThread(name string, view memmodel.View, vc vclock.VC) *Thread {
+	e.nextTID++
+	t := &Thread{
+		eng:    e,
+		id:     e.nextTID,
+		name:   name,
+		resume: make(chan response),
+		cur:    view.Clone(),
+		curVC:  vc.Clone(),
+	}
+	e.threads[t.id] = t
+	return t
+}
+
+// startThread launches the goroutine for t and waits for it to park on its
+// first operation (or finish immediately).
+func (e *Engine) startThread(t *Thread, fn ThreadFunc) {
+	t.started = true
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killedError); ok {
+					return
+				}
+				select {
+				case e.doneCh <- threadDone{tid: t.id, panicked: true, panicVal: r}:
+				case <-e.killed:
+				}
+				return
+			}
+			select {
+			case e.doneCh <- threadDone{tid: t.id}:
+			case <-e.killed:
+			}
+		}()
+		fn(t)
+	}()
+	e.waitForPark(t)
+}
+
+// waitForPark blocks until thread t either parks on its next operation or
+// terminates. The engine's serialization invariant guarantees t is the
+// only runnable thread.
+func (e *Engine) waitForPark(t *Thread) {
+	select {
+	case parked := <-e.parkCh:
+		if parked != t {
+			panic("pctwm: engine serialization violated: unexpected thread parked")
+		}
+	case done := <-e.doneCh:
+		if done.tid != t.id {
+			panic("pctwm: engine serialization violated: unexpected thread finished")
+		}
+		e.finishThread(t, done)
+	}
+}
+
+func (e *Engine) finishThread(t *Thread, done threadDone) {
+	t.finished = true
+	e.stepsSinceProgress = 0
+	if done.panicked {
+		e.reportBug(fmt.Sprintf("thread %s (t%d) crashed: %v", t.name, t.id, done.panicVal))
+	}
+}
+
+func (e *Engine) reportBug(msg string) {
+	e.outcome.BugHit = true
+	e.outcome.BugMessages = append(e.outcome.BugMessages, msg)
+	if e.opts.StopOnBug {
+		e.stopped = true
+	}
+}
+
+func (e *Engine) isEnabled(t *Thread) bool {
+	if !t.started || t.finished {
+		return false
+	}
+	// A thread parked on Join is blocked until its target terminates.
+	if t.req.code == opJoin {
+		child := e.threads[t.req.joinTID]
+		if child == nil || !child.finished {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) enabledOps() []PendingOp {
+	tids := make([]memmodel.ThreadID, 0, len(e.threads))
+	for tid := range e.threads {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	ops := make([]PendingOp, 0, len(tids))
+	for _, tid := range tids {
+		t := e.threads[tid]
+		if e.isEnabled(t) {
+			ops = append(ops, t.pending())
+		}
+	}
+	return ops
+}
+
+func (e *Engine) liveThreads() int {
+	n := 0
+	for _, t := range e.threads {
+		if t.started && !t.finished {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) newEvent(tid memmodel.ThreadID, index int, lab memmodel.Label) *memmodel.Event {
+	ev := &memmodel.Event{
+		ID:        e.nextEventID,
+		TID:       tid,
+		Index:     index,
+		Label:     lab,
+		ReadsFrom: memmodel.NoEvent,
+	}
+	e.nextEventID++
+	return ev
+}
+
+func (e *Engine) record(ev *memmodel.Event) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.Events = append(e.rec.Events, *ev)
+	if ev.Label.Order.IsSC() && ev.Label.Kind != memmodel.KindAssert {
+		e.rec.SCOrder = append(e.rec.SCOrder, ev.ID)
+	}
+}
+
+func (e *Engine) finalValues() map[string]memmodel.Value {
+	vals := make(map[string]memmodel.Value, len(e.prog.locs))
+	for i := range e.prog.locs {
+		if i < len(e.locs) && len(e.locs[i].mo) > 0 {
+			vals[e.locs[i].name] = e.locs[i].maximal().val
+		}
+	}
+	return vals
+}
+
+func (e *Engine) teardown() {
+	close(e.killed)
+	e.wg.Wait()
+}

@@ -1,0 +1,432 @@
+package engine
+
+import (
+	"fmt"
+
+	"pctwm/internal/memmodel"
+)
+
+// execute grants thread t's parked request, applies the memory-model
+// semantics (the view machine of Algorithm 2), and waits for t to park on
+// its next operation or terminate.
+func (e *Engine) execute(t *Thread) {
+	req := t.req
+	var res response
+	switch req.code {
+	case opLoad:
+		res.value = e.execRead(t, req.loc, req.order, false, 0)
+	case opStore:
+		e.execWrite(t, req.loc, req.value, req.order)
+	case opCAS:
+		res.value, res.ok = e.execCAS(t, req)
+	case opFetchAdd:
+		res.value = e.execRMW(t, req.loc, req.order, func(old memmodel.Value) memmodel.Value { return old + req.value })
+	case opExchange:
+		res.value = e.execRMW(t, req.loc, req.order, func(memmodel.Value) memmodel.Value { return req.value })
+	case opFence:
+		e.execFence(t, req.order)
+	case opAlloc:
+		res.loc = e.execAlloc(t, req)
+	case opSpawn:
+		res.spawned = e.execSpawn(t, req.spawnFn)
+	case opJoin:
+		e.execJoin(t, req.joinTID)
+	case opAssert:
+		e.execAssert(t, req)
+	case opYield:
+		// No event; scheduling opportunity only.
+	default:
+		panic(fmt.Sprintf("pctwm: unknown opcode %d", req.code))
+	}
+	if e.stopped {
+		return
+	}
+	t.resume <- res
+	e.waitForPark(t)
+}
+
+// beginEvent ticks the thread's clock and builds the event skeleton.
+func (e *Engine) beginEvent(t *Thread, lab memmodel.Label) (*memmodel.Event, int32) {
+	clock := t.curVC.Tick(int(t.id))
+	ev := e.newEvent(t.id, t.nextIndex, lab)
+	t.nextIndex++
+	return ev, clock
+}
+
+// finishEvent applies SC view propagation, recording, counting and
+// strategy notification — common tail of every memory event.
+func (e *Engine) finishEvent(t *Thread, ev *memmodel.Event) {
+	if ev.Label.Order.IsSC() && ev.Label.Kind != memmodel.KindAssert {
+		// SC events extend the global SC view after their own update
+		// (Algorithm 2, getSC: successors observe this event's bag).
+		e.scView.Join(t.cur)
+		e.scVC.Join(t.curVC)
+	}
+	if ev.Label.Kind.IsMemoryAccess() || ev.Label.Kind == memmodel.KindFence {
+		e.outcome.Events++
+		if ev.Label.IsCommunicationEvent() {
+			e.outcome.CommEvents++
+		}
+	}
+	e.record(ev)
+	e.strat.OnEvent(*ev)
+}
+
+// acquireSCView is called before an SC event touches memory: the event
+// observes the views of all SC-predecessors.
+func (e *Engine) acquireSCView(t *Thread) {
+	t.cur.Join(e.scView)
+	t.curVC.Join(e.scVC)
+}
+
+func (e *Engine) loc(l memmodel.Loc) *location {
+	i := int(l) - 1
+	if i < 0 || i >= len(e.locs) {
+		panic(fmt.Sprintf("pctwm: access to invalid location %d", l))
+	}
+	return &e.locs[i]
+}
+
+// readCandidates returns the coherence-legal writes for a read of l by t in
+// ascending modification order: every write at or after the thread's view
+// floor. Candidates[0] is the thread-local view write (readLocal).
+func (e *Engine) readCandidates(t *Thread, l memmodel.Loc) []ReadCandidate {
+	loc := e.loc(l)
+	floor := t.cur.Get(l)
+	if floor == 0 {
+		floor = 1
+	}
+	msgs := loc.mo[floor-1:]
+	cands := make([]ReadCandidate, len(msgs))
+	for i := range msgs {
+		m := &msgs[i]
+		cands[i] = ReadCandidate{Stamp: m.stamp, Value: m.val, Writer: m.event, WriterTID: m.tid}
+	}
+	return cands
+}
+
+// execRead performs a load. When casFail is true the read is the failure
+// path of a CAS and the candidate set excludes values equal to expected.
+func (e *Engine) execRead(t *Thread, l memmodel.Loc, ord memmodel.Order, casFail bool, expected memmodel.Value) memmodel.Value {
+	if ord.IsSC() {
+		e.acquireSCView(t)
+	}
+	cands := e.readCandidates(t, l)
+	if casFail {
+		filtered := cands[:0:0]
+		for _, c := range cands {
+			if c.Value != expected {
+				filtered = append(filtered, c)
+			}
+		}
+		cands = filtered
+	}
+	if len(cands) == 0 {
+		panic(fmt.Sprintf("pctwm: no read candidates for %s at %s", t.name, e.locName(l)))
+	}
+	choice := 0
+	if len(cands) > 1 {
+		choice = e.strat.PickRead(ReadContext{
+			TID: t.id, Index: t.nextIndex, Loc: l, Order: ord,
+			RMWFailure: casFail, Candidates: cands,
+		})
+		if choice < 0 || choice >= len(cands) {
+			panic(fmt.Sprintf("pctwm: strategy %s picked read candidate %d of %d", e.strat.Name(), choice, len(cands)))
+		}
+	}
+	c := cands[choice]
+	m := e.loc(l).byStamp(c.Stamp)
+
+	ev, clock := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindRead, Order: ord, Loc: l, RVal: m.val})
+	ev.ReadsFrom = m.event
+
+	// View update (Algorithm 2 lines 9-19).
+	if ord.IsAcquire() {
+		// Synchronizing read: acquire the whole bag (line 14).
+		t.cur.Join(m.bag)
+		t.curVC.Join(m.relVC)
+	} else {
+		// Relaxed or non-atomic: only this location advances (line 16);
+		// the bag is stashed for a later acquire fence (sink-side
+		// (po;[F]) of the sw definition).
+		t.cur.Set(l, m.stamp)
+		t.acqStash.Join(m.bag)
+		t.acqStashVC.Join(m.relVC)
+	}
+
+	e.raceCheck(t, ev.ID, l, false, ord == memmodel.NonAtomic, clock)
+	e.spinCheck(t, l, m.val)
+	e.finishEvent(t, ev)
+	return m.val
+}
+
+// publishBag computes the view a new write at (l, ts) publishes.
+func (t *Thread) publishBag(l memmodel.Loc, ts memmodel.TS, ord memmodel.Order, readMsg *message) memmodel.View {
+	var bag memmodel.View
+	if ord.IsRelease() {
+		// Release write: publish the full thread view (sw source).
+		bag = t.cur.Clone()
+	} else {
+		// Relaxed write after a release fence still carries the fence's
+		// view (source-side ([F];po) of the sw definition).
+		bag = t.relFence.Clone()
+	}
+	if readMsg != nil {
+		// RMWs continue release sequences: rf+ chains through updates, so
+		// the update's message carries the read message's bag.
+		bag.Join(readMsg.bag)
+	}
+	bag.Set(l, ts)
+	return bag
+}
+
+func (e *Engine) execWrite(t *Thread, l memmodel.Loc, v memmodel.Value, ord memmodel.Order) {
+	if ord.IsSC() {
+		e.acquireSCView(t)
+	}
+	loc := e.loc(l)
+	ev, clock := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindWrite, Order: ord, Loc: l, WVal: v})
+
+	ts := memmodel.TS(len(loc.mo) + 1)
+	bag := t.publishBag(l, ts, ord, nil)
+	relVC := t.relFenceVC.Clone()
+	if ord.IsRelease() {
+		relVC = t.curVC.Clone()
+	}
+	loc.append(message{
+		val: v, tid: t.id, event: ev.ID,
+		bag: bag, relVC: relVC,
+		nonAtomic: ord == memmodel.NonAtomic,
+	})
+	ev.Stamp = ts
+	t.cur.Set(l, ts) // Algorithm 2 lines 4-5
+
+	t.resetSpin()
+	e.progress()
+	e.raceCheck(t, ev.ID, l, true, ord == memmodel.NonAtomic, clock)
+	e.finishEvent(t, ev)
+}
+
+// execRMW performs an atomic update: it reads the mo-maximal write (the
+// only read preserving atomicity with an append-only mo) and appends the
+// transformed value immediately after it.
+func (e *Engine) execRMW(t *Thread, l memmodel.Loc, ord memmodel.Order, f func(memmodel.Value) memmodel.Value) memmodel.Value {
+	if ord.IsSC() {
+		e.acquireSCView(t)
+	}
+	loc := e.loc(l)
+	old := loc.maximal()
+	newVal := f(old.val)
+	ev, clock := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindRMW, Order: ord, Loc: l, RVal: old.val, WVal: newVal})
+	ev.ReadsFrom = old.event
+
+	// Read side of the update.
+	if ord.IsAcquire() {
+		t.cur.Join(old.bag)
+		t.curVC.Join(old.relVC)
+	} else {
+		t.acqStash.Join(old.bag)
+		t.acqStashVC.Join(old.relVC)
+	}
+
+	// Write side.
+	ts := memmodel.TS(len(loc.mo) + 1)
+	bag := t.publishBag(l, ts, ord, old)
+	relVC := t.relFenceVC.Clone()
+	if ord.IsRelease() {
+		relVC = t.curVC.Clone()
+	}
+	relVC.Join(old.relVC)
+	loc.append(message{
+		val: newVal, tid: t.id, event: ev.ID,
+		bag: bag, relVC: relVC,
+	})
+	ev.Stamp = ts
+	t.cur.Set(l, ts)
+
+	t.resetSpin()
+	e.progress()
+	e.raceCheck(t, ev.ID, l, true, false, clock)
+	e.finishEvent(t, ev)
+	return old.val
+}
+
+func (e *Engine) execCAS(t *Thread, req request) (memmodel.Value, bool) {
+	loc := e.loc(req.loc)
+	if loc.maximal().val == req.expected {
+		if req.weak {
+			// Weak CAS: the strategy may direct the operation at a
+			// non-maximal write, failing spuriously even though the
+			// exchange could have succeeded.
+			cands := e.readCandidates(t, req.loc)
+			if len(cands) > 1 {
+				choice := e.strat.PickRead(ReadContext{
+					TID: t.id, Index: t.nextIndex, Loc: req.loc,
+					Order: req.failOrder, RMWFailure: true, Candidates: cands,
+				})
+				if choice < 0 || choice >= len(cands) {
+					panic(fmt.Sprintf("pctwm: strategy %s picked read candidate %d of %d", e.strat.Name(), choice, len(cands)))
+				}
+				if choice != len(cands)-1 {
+					v := e.execReadOf(t, req.loc, req.failOrder, cands[choice])
+					return v, false
+				}
+			}
+		}
+		old := e.execRMW(t, req.loc, req.order, func(memmodel.Value) memmodel.Value { return req.value })
+		return old, true
+	}
+	// Failure: a plain read that must observe a value ≠ expected (strong
+	// CAS fails only on a genuine mismatch; a weak CAS behaves the same
+	// once the maximal value differs). The mo-maximal write is always a
+	// candidate, so the filtered set is never empty here.
+	v := e.execRead(t, req.loc, req.failOrder, true, req.expected)
+	return v, false
+}
+
+// execReadOf performs a read event pinned to a specific candidate (used
+// by the weak-CAS spurious-failure path, which already consulted the
+// strategy).
+func (e *Engine) execReadOf(t *Thread, l memmodel.Loc, ord memmodel.Order, c ReadCandidate) memmodel.Value {
+	if ord.IsSC() {
+		e.acquireSCView(t)
+	}
+	m := e.loc(l).byStamp(c.Stamp)
+	ev, clock := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindRead, Order: ord, Loc: l, RVal: m.val})
+	ev.ReadsFrom = m.event
+	if ord.IsAcquire() {
+		t.cur.Join(m.bag)
+		t.curVC.Join(m.relVC)
+	} else {
+		t.cur.Set(l, m.stamp)
+		t.acqStash.Join(m.bag)
+		t.acqStashVC.Join(m.relVC)
+	}
+	e.raceCheck(t, ev.ID, l, false, ord == memmodel.NonAtomic, clock)
+	e.spinCheck(t, l, m.val)
+	e.finishEvent(t, ev)
+	return m.val
+}
+
+func (e *Engine) execFence(t *Thread, ord memmodel.Order) {
+	if !ord.IsAcquire() && !ord.IsRelease() {
+		panic(fmt.Sprintf("pctwm: fence with order %s", ord))
+	}
+	ev, _ := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindFence, Order: ord})
+	if ord.IsAcquire() {
+		// Claim the bags stashed by earlier relaxed reads (Algorithm 2
+		// lines 20-23, getSWSet).
+		t.cur.Join(t.acqStash)
+		t.curVC.Join(t.acqStashVC)
+	}
+	if ord.IsSC() {
+		e.acquireSCView(t)
+	}
+	if ord.IsRelease() {
+		// Snapshot for later relaxed writes (lines 24-25: the thread's own
+		// view does not change).
+		t.relFence = t.cur.Clone()
+		t.relFenceVC = t.curVC.Clone()
+	}
+	e.finishEvent(t, ev)
+}
+
+func (e *Engine) execAlloc(t *Thread, req request) memmodel.Loc {
+	base := memmodel.Loc(len(e.locs) + 1)
+	for i := 0; i < req.allocN; i++ {
+		var init memmodel.Value
+		if i < len(req.allocInit) {
+			init = req.allocInit[i]
+		}
+		l := memmodel.Loc(len(e.locs) + 1)
+		name := fmt.Sprintf("%s#%d[%d]", req.allocName, base, i)
+		e.locNames[l] = name
+
+		ev, clock := e.beginEvent(t, memmodel.Label{
+			Kind: memmodel.KindWrite, Order: memmodel.NonAtomic, Loc: l, WVal: init,
+		})
+		ev.Stamp = 1
+		var bag memmodel.View
+		bag.Set(l, 1)
+		e.locs = append(e.locs, location{
+			name: name,
+			mo: []message{{
+				stamp: 1, val: init, tid: t.id, event: ev.ID,
+				bag: bag, relVC: t.relFenceVC.Clone(), nonAtomic: true,
+			}},
+		})
+		t.cur.Set(l, 1)
+		e.raceCheck(t, ev.ID, l, true, true, clock)
+		e.finishEvent(t, ev)
+	}
+	e.progress()
+	return base
+}
+
+func (e *Engine) execSpawn(t *Thread, fn ThreadFunc) *ThreadHandle {
+	ev, _ := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindSpawn})
+	child := e.newThread(fmt.Sprintf("%s.%d", t.name, e.nextTID+1), t.cur, t.curVC)
+	if e.rec != nil {
+		e.rec.SpawnLinks = append(e.rec.SpawnLinks, SpawnLink{From: ev.ID, Child: child.id})
+	}
+	e.startThread(child, fn)
+	e.strat.OnThreadStart(child.id, t.id)
+	e.progress()
+	e.finishEvent(t, ev)
+	return &ThreadHandle{tid: child.id}
+}
+
+func (e *Engine) execJoin(t *Thread, child memmodel.ThreadID) {
+	c := e.threads[child]
+	if c == nil {
+		panic(fmt.Sprintf("pctwm: join of unknown thread %d", child))
+	}
+	if !c.finished {
+		// The scheduler only grants enabled threads; being granted here
+		// means the child finished.
+		panic("pctwm: join granted while child still running")
+	}
+	ev, _ := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindJoin})
+	if e.rec != nil {
+		e.rec.JoinLinks = append(e.rec.JoinLinks, JoinLink{Child: child, To: ev.ID})
+	}
+	// Child termination synchronizes with the join.
+	t.cur.Join(c.cur)
+	t.curVC.Join(c.curVC)
+	e.finishEvent(t, ev)
+}
+
+func (e *Engine) execAssert(t *Thread, req request) {
+	ev, _ := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindAssert})
+	e.progress()
+	if !req.assertOK {
+		e.reportBug(fmt.Sprintf("assertion failed in %s (t%d): %s", t.name, t.id, req.assertMsg))
+	}
+	e.finishEvent(t, ev)
+}
+
+// progress resets the stall detector: something observable happened.
+func (e *Engine) progress() { e.stepsSinceProgress = 0 }
+
+func (e *Engine) raceCheck(t *Thread, ev memmodel.EventID, l memmodel.Loc, write, nonAtomic bool, clock int32) {
+	if e.det == nil {
+		return
+	}
+	e.det.OnAccess(t.id, ev, l, write, nonAtomic, clock, t.curVC)
+}
+
+// spinCheck implements the wait-loop heuristic: a thread repeatedly loading
+// the same value from the same location is assumed livelocked and the
+// strategy is notified so it can randomize (paper §6.2).
+func (e *Engine) spinCheck(t *Thread, l memmodel.Loc, v memmodel.Value) {
+	if t.spinLoc == l && t.spinVal == v {
+		t.spinCount++
+		if t.spinCount >= e.opts.SpinThreshold && t.spinCount%e.opts.SpinThreshold == 0 {
+			e.strat.OnSpin(t.id)
+		}
+		return
+	}
+	t.spinLoc, t.spinVal, t.spinCount = l, v, 1
+}
+
+func (t *Thread) resetSpin() { t.spinLoc, t.spinVal, t.spinCount = 0, 0, 0 }

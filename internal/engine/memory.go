@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"pctwm/internal/memmodel"
+	"pctwm/internal/vclock"
+)
+
+// message is a write event living in a location's modification order. It
+// carries the "bag" of the paper's Algorithm 2 — the view it communicates
+// to readers that synchronize with it — plus the matching vector clock for
+// happens-before tracking.
+type message struct {
+	stamp memmodel.TS
+	val   memmodel.Value
+	// writer identity
+	tid   memmodel.ThreadID
+	event memmodel.EventID
+	// bag is the view the write publishes: the full thread view for
+	// release writes, {loc: stamp} ∪ relFence view for relaxed writes,
+	// additionally joined with the read-message bag for RMWs (release
+	// sequences through rf+).
+	bag memmodel.View
+	// relVC is the happens-before clock the write publishes along sw.
+	relVC vclock.VC
+	// nonAtomic marks plain (na) writes for the race detector.
+	nonAtomic bool
+}
+
+// location is the runtime state of one shared memory cell: its full
+// modification order. mo[i] has stamp i+1; mo is append-only, so
+// modification order coincides with write execution order (as in
+// C11Tester).
+type location struct {
+	name string
+	mo   []message
+}
+
+func (l *location) maximal() *message { return &l.mo[len(l.mo)-1] }
+
+// byStamp returns the message with the given stamp.
+func (l *location) byStamp(ts memmodel.TS) *message { return &l.mo[ts-1] }
+
+// append adds a write at the end of the modification order and returns its
+// stamp.
+func (l *location) append(m message) memmodel.TS {
+	m.stamp = memmodel.TS(len(l.mo) + 1)
+	l.mo = append(l.mo, m)
+	return m.stamp
+}

@@ -1,0 +1,93 @@
+package engine
+
+import (
+	"pctwm/internal/memmodel"
+)
+
+// opCode enumerates the requests a thread can post to the engine. Every
+// request parks the thread until the scheduler grants it, which serializes
+// the execution exactly like C11Tester does.
+type opCode uint8
+
+const (
+	opLoad opCode = iota
+	opStore
+	opCAS
+	opFetchAdd
+	opExchange
+	opFence
+	opAlloc
+	opSpawn
+	opJoin
+	opAssert
+	opYield
+)
+
+// request is an operation posted by a thread goroutine to the engine.
+type request struct {
+	code  opCode
+	order memmodel.Order
+	// failOrder is the failure memory order of a compare-and-swap.
+	failOrder memmodel.Order
+	loc       memmodel.Loc
+	value     memmodel.Value // store value / CAS desired / fetch-add delta
+	expected  memmodel.Value // CAS expected
+	weak      bool           // CAS may fail spuriously
+	// alloc parameters
+	allocName string
+	allocN    int
+	allocInit []memmodel.Value
+	// spawn/join parameters
+	spawnFn ThreadFunc
+	joinTID memmodel.ThreadID
+	// assert parameters
+	assertOK  bool
+	assertMsg string
+}
+
+// response carries the result of a granted request back to the thread.
+type response struct {
+	value   memmodel.Value // load result / CAS old value / fetch-add old value
+	ok      bool           // CAS success
+	loc     memmodel.Loc   // alloc base
+	spawned *ThreadHandle
+}
+
+// PendingOp describes the operation a parked thread will perform next.
+// Strategies inspect pending operations to make scheduling decisions;
+// in particular PCTWM checks isCommunicationEvent on the pending label
+// before the event executes (Algorithm 1, line 6).
+type PendingOp struct {
+	TID memmodel.ThreadID
+	// Index is the po index the event will receive, making (TID, Index) a
+	// stable identity for a not-yet-executed event.
+	Index int
+	Kind  memmodel.Kind
+	Order memmodel.Order
+	Loc   memmodel.Loc
+}
+
+// IsCommunicationEvent reports whether the pending event is a potential
+// communication sink (SC ∪ R ∪ F⊒acq, Definition 3).
+func (p PendingOp) IsCommunicationEvent() bool {
+	return memmodel.Label{Kind: p.Kind, Order: p.Order}.IsCommunicationEvent()
+}
+
+func (r *request) pendingKind() memmodel.Kind {
+	switch r.code {
+	case opLoad:
+		return memmodel.KindRead
+	case opStore:
+		return memmodel.KindWrite
+	case opCAS, opFetchAdd, opExchange:
+		return memmodel.KindRMW
+	case opFence:
+		return memmodel.KindFence
+	case opSpawn:
+		return memmodel.KindSpawn
+	case opJoin:
+		return memmodel.KindJoin
+	default:
+		return memmodel.KindAssert
+	}
+}

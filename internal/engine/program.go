@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pctwm/internal/memmodel"
+)
+
+// Program is a static description of a weak-memory test program: a set of
+// named shared locations with initial values and a set of root threads.
+// A Program is immutable once built and can be executed any number of
+// times; every Run starts from a fresh state.
+type Program struct {
+	name    string
+	locs    []locDecl
+	byName  map[string]memmodel.Loc
+	threads []rootThread
+	sealed  atomic.Bool
+}
+
+type locDecl struct {
+	name string
+	init memmodel.Value
+}
+
+type rootThread struct {
+	name string
+	fn   ThreadFunc
+}
+
+// NewProgram creates an empty program with a diagnostic name.
+func NewProgram(name string) *Program {
+	return &Program{name: name, byName: make(map[string]memmodel.Loc)}
+}
+
+// Name returns the program's diagnostic name.
+func (p *Program) Name() string { return p.name }
+
+// Loc declares a shared location with an initial value and returns its
+// handle. Location handles are valid across all runs of the program.
+func (p *Program) Loc(name string, init memmodel.Value) memmodel.Loc {
+	if p.sealed.Load() {
+		panic("pctwm: Program.Loc called after Run")
+	}
+	if _, dup := p.byName[name]; dup {
+		panic(fmt.Sprintf("pctwm: duplicate location %q", name))
+	}
+	p.locs = append(p.locs, locDecl{name: name, init: init})
+	l := memmodel.Loc(len(p.locs)) // 1-based; 0 is NoLoc
+	p.byName[name] = l
+	return l
+}
+
+// LocArray declares n locations named name[0..n-1] and returns the base
+// handle; element i is Base+Loc(i).
+func (p *Program) LocArray(name string, n int, init memmodel.Value) memmodel.Loc {
+	if n <= 0 {
+		panic(fmt.Sprintf("pctwm: LocArray(%q, %d): n must be positive", name, n))
+	}
+	base := p.Loc(fmt.Sprintf("%s[0]", name), init)
+	for i := 1; i < n; i++ {
+		p.Loc(fmt.Sprintf("%s[%d]", name, i), init)
+	}
+	return base
+}
+
+// LocName returns the declared name of a static location, or a synthetic
+// name for dynamically allocated ones.
+func (p *Program) LocName(l memmodel.Loc) string {
+	if i := int(l) - 1; i >= 0 && i < len(p.locs) {
+		return p.locs[i].name
+	}
+	return fmt.Sprintf("heap#%d", l)
+}
+
+// AddThread registers a root thread. Root threads are started before the
+// first scheduling decision, in declaration order, as in the paper's
+// benchmarks (all threads exist up front).
+func (p *Program) AddThread(fn ThreadFunc) {
+	p.AddNamedThread(fmt.Sprintf("T%d", len(p.threads)+1), fn)
+}
+
+// AddNamedThread registers a root thread with a diagnostic name.
+func (p *Program) AddNamedThread(name string, fn ThreadFunc) {
+	if p.sealed.Load() {
+		panic("pctwm: Program.AddThread called after Run")
+	}
+	if fn == nil {
+		panic("pctwm: AddThread(nil)")
+	}
+	p.threads = append(p.threads, rootThread{name: name, fn: fn})
+}
+
+// NumThreads returns the number of root threads.
+func (p *Program) NumThreads() int { return len(p.threads) }
+
+// NumLocs returns the number of statically declared locations.
+func (p *Program) NumLocs() int { return len(p.locs) }

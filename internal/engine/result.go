@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"time"
+
+	"pctwm/internal/memmodel"
+	"pctwm/internal/race"
+)
+
+// Recording is the execution graph material captured when Options.Record
+// is set: the full event list (po is recoverable from TID+Index, rf from
+// ReadsFrom, mo from Stamp) plus the total order of SC events. The axiom
+// package turns a Recording into a checkable execution graph.
+type Recording struct {
+	Events  []memmodel.Event
+	SCOrder []memmodel.EventID
+	// SpawnLinks order thread starts after their spawn event (From is
+	// NoEvent for root threads, which start after initialization).
+	SpawnLinks []SpawnLink
+	// JoinLinks order a thread's last event before the join that reaped it.
+	JoinLinks []JoinLink
+	// LocNames maps locations to diagnostic names (static + dynamic).
+	LocNames map[memmodel.Loc]string
+}
+
+// SpawnLink records that Child's first event is ordered after event From.
+type SpawnLink struct {
+	From  memmodel.EventID
+	Child memmodel.ThreadID
+}
+
+// JoinLink records that event To is ordered after Child's last event.
+type JoinLink struct {
+	Child memmodel.ThreadID
+	To    memmodel.EventID
+}
+
+// Outcome summarizes one execution.
+type Outcome struct {
+	// BugHit is true when an assertion failed or a thread crashed.
+	BugHit bool
+	// BugMessages holds the failed assertion messages / panic values.
+	BugMessages []string
+	// Races holds detected data races (when race detection is on).
+	Races []race.Race
+	// Steps counts scheduler grants (including yields).
+	Steps int
+	// Events counts memory events (R, W, U, F).
+	Events int
+	// CommEvents counts executed communication events (SC ∪ R ∪ F⊒acq),
+	// the paper's k_com.
+	CommEvents int
+	// Aborted is true when the execution hit MaxSteps (livelock guard).
+	Aborted bool
+	// Deadlocked is true when unfinished threads remained but none was
+	// enabled (a join cycle).
+	Deadlocked bool
+	// FinalValues maps static location names to their mo-maximal values.
+	FinalValues map[string]memmodel.Value
+	// Recording is non-nil when Options.Record was set.
+	Recording *Recording
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+}
+
+// Failed reports whether the execution exposed a bug, counting data races
+// as failures (the C11Tester notion used for the application benchmarks).
+func (o *Outcome) Failed() bool { return o.BugHit || len(o.Races) > 0 }
+
+// Options configure one execution.
+type Options struct {
+	// MaxSteps aborts the execution after this many scheduler grants
+	// (guards against livelocks the strategy cannot escape). 0 means the
+	// default of 100000.
+	MaxSteps int
+	// SpinThreshold is the number of consecutive identical loads after
+	// which the strategy's OnSpin fires. 0 means the default of 12.
+	SpinThreshold int
+	// StallWindow is the number of scheduler steps without a write, RMW or
+	// thread completion after which OnSpin fires regardless of the spin
+	// pattern. 0 means the default of 256.
+	StallWindow int
+	// StopOnBug ends the execution at the first failed assertion.
+	StopOnBug bool
+	// Record captures the execution graph for consistency checking.
+	Record bool
+	// DetectRaces enables the vector-clock data race detector.
+	DetectRaces bool
+	// MaxRaces caps the number of reported races (default 16).
+	MaxRaces int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 100000
+	}
+	if o.SpinThreshold == 0 {
+		o.SpinThreshold = 12
+	}
+	if o.StallWindow == 0 {
+		o.StallWindow = 256
+	}
+	if o.MaxRaces == 0 {
+		o.MaxRaces = 16
+	}
+	return o
+}

@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"fmt"
+
+	"pctwm/internal/memmodel"
+	"pctwm/internal/vclock"
+)
+
+// ThreadFunc is the body of a simulated thread. It runs in its own
+// goroutine but is fully serialized by the engine: at most one thread makes
+// progress at a time, and every shared-memory access goes through the
+// Thread handle.
+type ThreadFunc func(t *Thread)
+
+// ThreadHandle identifies a spawned thread for Join.
+type ThreadHandle struct {
+	tid memmodel.ThreadID
+}
+
+// TID returns the thread id of the spawned thread.
+func (h *ThreadHandle) TID() memmodel.ThreadID { return h.tid }
+
+// errKilled is panicked inside thread goroutines when the engine tears an
+// execution down early (bug found, step limit, ...).
+type killedError struct{}
+
+func (killedError) Error() string { return "pctwm: execution torn down" }
+
+// Thread is a simulated thread's access point to the weak memory engine.
+// All methods may only be called from within the ThreadFunc this handle was
+// passed to.
+type Thread struct {
+	eng  *Engine
+	id   memmodel.ThreadID
+	name string
+
+	// scheduler protocol
+	req    request
+	resume chan response
+
+	// memory-model state (paper §5.1 / Algorithm 2)
+	cur      memmodel.View // thread view: latest observed write per location
+	acqStash memmodel.View // bags stashed by relaxed reads, claimed by F⊒acq
+	relFence memmodel.View // view snapshot at the last release fence
+
+	// happens-before clocks mirroring the views (race detection)
+	curVC      vclock.VC
+	acqStashVC vclock.VC
+	relFenceVC vclock.VC
+
+	// bookkeeping
+	nextIndex int // po index of the next event
+	finished  bool
+	started   bool
+
+	// spin detection
+	spinLoc   memmodel.Loc
+	spinVal   memmodel.Value
+	spinCount int
+}
+
+// ID returns this thread's identifier (1-based; 0 is the init pseudo-thread).
+func (t *Thread) ID() memmodel.ThreadID { return t.id }
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// post parks the thread on a request and returns the engine's response.
+func (t *Thread) post(r request) response {
+	t.req = r
+	select {
+	case t.eng.parkCh <- t:
+	case <-t.eng.killed:
+		panic(killedError{})
+	}
+	select {
+	case res := <-t.resume:
+		return res
+	case <-t.eng.killed:
+		panic(killedError{})
+	}
+}
+
+// Load performs an atomic (or, with memmodel.NonAtomic, a plain) load of
+// loc with the given memory order and returns the value read. Which write
+// the load reads from is decided by the active testing strategy among the
+// coherence-legal candidates.
+func (t *Thread) Load(loc memmodel.Loc, ord memmodel.Order) memmodel.Value {
+	return t.post(request{code: opLoad, loc: loc, order: ord}).value
+}
+
+// Store performs an atomic (or plain) store of v to loc.
+func (t *Thread) Store(loc memmodel.Loc, v memmodel.Value, ord memmodel.Order) {
+	t.post(request{code: opStore, loc: loc, value: v, order: ord})
+}
+
+// CAS is a strong compare-and-swap: if the modification-order-maximal value
+// of loc equals expected the swap succeeds (an RMW event with order ordSucc);
+// otherwise it fails with a read event of order ordFail that may observe any
+// coherence-legal stale value different from expected. Returns the value
+// observed and whether the swap succeeded.
+func (t *Thread) CAS(loc memmodel.Loc, expected, desired memmodel.Value, ordSucc, ordFail memmodel.Order) (memmodel.Value, bool) {
+	res := t.post(request{
+		code: opCAS, loc: loc, expected: expected, value: desired,
+		order: ordSucc, failOrder: ordFail,
+	})
+	return res.value, res.ok
+}
+
+// CASWeak is a weak compare-and-swap: like CAS, but it may fail
+// spuriously — the strategy may direct the operation to observe any
+// coherence-legal write (possibly one carrying the expected value) without
+// performing the exchange, as C11's compare_exchange_weak allows. Retry
+// loops must therefore tolerate ok == false with an unchanged value.
+func (t *Thread) CASWeak(loc memmodel.Loc, expected, desired memmodel.Value, ordSucc, ordFail memmodel.Order) (memmodel.Value, bool) {
+	res := t.post(request{
+		code: opCAS, loc: loc, expected: expected, value: desired,
+		order: ordSucc, failOrder: ordFail, weak: true,
+	})
+	return res.value, res.ok
+}
+
+// FetchAdd atomically adds delta to loc and returns the previous value.
+func (t *Thread) FetchAdd(loc memmodel.Loc, delta memmodel.Value, ord memmodel.Order) memmodel.Value {
+	return t.post(request{code: opFetchAdd, loc: loc, value: delta, order: ord}).value
+}
+
+// Exchange atomically replaces the value of loc and returns the previous one.
+func (t *Thread) Exchange(loc memmodel.Loc, v memmodel.Value, ord memmodel.Order) memmodel.Value {
+	return t.post(request{code: opExchange, loc: loc, value: v, order: ord}).value
+}
+
+// Fence issues a memory fence with the given order (Acquire, Release,
+// AcqRel or SeqCst).
+func (t *Thread) Fence(ord memmodel.Order) {
+	t.post(request{code: opFence, order: ord})
+}
+
+// Alloc allocates n fresh contiguous shared locations initialized to init
+// (missing entries default to zero) and returns the base location. The
+// initializing writes are attributed to the allocating thread and are
+// immediately part of its view, so freshly allocated memory behaves like
+// C11 object construction before publication.
+func (t *Thread) Alloc(name string, n int, init ...memmodel.Value) memmodel.Loc {
+	if n <= 0 {
+		panic(fmt.Sprintf("pctwm: Alloc(%q, %d): n must be positive", name, n))
+	}
+	return t.post(request{code: opAlloc, allocName: name, allocN: n, allocInit: init}).loc
+}
+
+// Spawn starts a new simulated thread running fn. The spawn synchronizes
+// with the child's start (the child inherits the parent's view).
+func (t *Thread) Spawn(fn ThreadFunc) *ThreadHandle {
+	if fn == nil {
+		panic("pctwm: Spawn(nil)")
+	}
+	return t.post(request{code: opSpawn, spawnFn: fn}).spawned
+}
+
+// Join blocks until the thread behind h terminates; the child's final view
+// is merged into this thread's view (termination synchronizes with join).
+func (t *Thread) Join(h *ThreadHandle) {
+	if h == nil {
+		panic("pctwm: Join(nil)")
+	}
+	t.post(request{code: opJoin, joinTID: h.tid})
+}
+
+// Assert records a bug when cond is false. The execution continues unless
+// the engine was configured with StopOnBug.
+func (t *Thread) Assert(cond bool, format string, args ...any) {
+	msg := ""
+	if !cond {
+		msg = fmt.Sprintf(format, args...)
+	}
+	t.post(request{code: opAssert, assertOK: cond, assertMsg: msg})
+}
+
+// Yield relinquishes the processor without performing a memory event. It
+// still passes through the scheduler, so strategies may deprioritize
+// yielding threads; it does not create an event.
+func (t *Thread) Yield() {
+	t.post(request{code: opYield})
+}
+
+// pending describes the parked request as a PendingOp for strategies.
+func (t *Thread) pending() PendingOp {
+	return PendingOp{
+		TID:   t.id,
+		Index: t.nextIndex,
+		Kind:  t.req.pendingKind(),
+		Order: t.req.order,
+		Loc:   t.req.loc,
+	}
+}

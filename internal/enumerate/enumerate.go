@@ -1,0 +1,117 @@
+// Package enumerate exhaustively explores every scheduling and
+// reads-from choice of a (small, loop-free) program under the engine's
+// weak memory semantics — a bounded model checker built from the same
+// machinery the randomized strategies use. It drives the engine with a
+// scripted strategy and backtracks over the decision tree in
+// depth-first order.
+//
+// The litmus suite uses it to verify outcome sets exactly: an outcome is
+// allowed if and only if some decision sequence produces it.
+package enumerate
+
+import (
+	"math/rand"
+
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// scripted is an engine.Strategy that follows a fixed prefix of decision
+// indices and takes the first alternative beyond it, recording the number
+// of alternatives at every decision point.
+type scripted struct {
+	script []int
+	pos    int
+	// arity[i] is the number of alternatives at decision point i of the
+	// current run.
+	arity []int
+}
+
+func (s *scripted) Name() string                         { return "enumerate" }
+func (s *scripted) Begin(engine.ProgramInfo, *rand.Rand) {}
+func (s *scripted) OnEvent(memmodel.Event)               {}
+func (s *scripted) OnThreadStart(_, _ memmodel.ThreadID) {}
+func (s *scripted) OnSpin(memmodel.ThreadID)             {}
+
+func (s *scripted) decide(n int) int {
+	s.arity = append(s.arity, n)
+	choice := 0
+	if s.pos < len(s.script) {
+		choice = s.script[s.pos]
+	}
+	s.pos++
+	if choice >= n {
+		choice = n - 1
+	}
+	return choice
+}
+
+func (s *scripted) NextThread(enabled []engine.PendingOp) memmodel.ThreadID {
+	return enabled[s.decide(len(enabled))].TID
+}
+
+func (s *scripted) PickRead(rc engine.ReadContext) int {
+	return s.decide(len(rc.Candidates))
+}
+
+// Result summarizes an exhaustive exploration.
+type Result struct {
+	// Runs is the number of executions explored.
+	Runs int
+	// Complete is false when the exploration hit the run limit before
+	// exhausting the decision tree.
+	Complete bool
+	// Truncated counts executions that hit the engine step limit (only
+	// possible for programs with unbounded loops).
+	Truncated int
+}
+
+// Explore runs every execution of the program (up to limit runs), calling
+// visit with each outcome. Programs must be small and loop-free for the
+// exploration to terminate; use limit as a safety net.
+func Explore(p *engine.Program, opts engine.Options, limit int, visit func(*engine.Outcome)) Result {
+	var res Result
+	script := []int{}
+	for {
+		if limit > 0 && res.Runs >= limit {
+			return res
+		}
+		s := &scripted{script: script}
+		o := engine.Run(p, s, 0, opts)
+		res.Runs++
+		if o.Aborted {
+			res.Truncated++
+		}
+		visit(o)
+
+		// Advance the script: find the deepest decision point that still
+		// has an untaken alternative, bump it, and drop everything after.
+		next := make([]int, len(s.arity))
+		copy(next, script)
+		for i := len(next); i < len(s.arity); i++ {
+			next[i] = 0
+		}
+		i := len(s.arity) - 1
+		for i >= 0 {
+			if next[i]+1 < s.arity[i] {
+				break
+			}
+			i--
+		}
+		if i < 0 {
+			res.Complete = true
+			return res
+		}
+		script = append(next[:i:i], next[i]+1)
+	}
+}
+
+// Outcomes explores the program and classifies each execution with the
+// key function, returning how many executions produced each key.
+func Outcomes(p *engine.Program, opts engine.Options, limit int, key func(*engine.Outcome) string) (map[string]int, Result) {
+	counts := make(map[string]int)
+	res := Explore(p, opts, limit, func(o *engine.Outcome) {
+		counts[key(o)]++
+	})
+	return counts, res
+}

@@ -1,0 +1,194 @@
+// Package harness runs repeated randomized test trials, estimates the
+// PCT/PCTWM input parameters (the program event count k and communication
+// event count kcom), and aggregates hit rates and timing — the machinery
+// behind the paper's evaluation (§6).
+package harness
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"pctwm/internal/benchprog"
+	"pctwm/internal/core"
+	"pctwm/internal/engine"
+	"pctwm/internal/stats"
+)
+
+// Estimate holds measured program parameters, obtained like the paper by
+// profiling runs: k is the estimated number of shared-memory events, kcom
+// the estimated number of communication events (Table 1).
+type Estimate struct {
+	K    int
+	KCom int
+	// Threads is the number of root threads.
+	Threads int
+}
+
+// EstimateParams profiles prog with the naive random strategy and returns
+// the mean observed event counts, rounded to nearest. The mean (rather
+// than the maximum) keeps the sampled change points and communication
+// indices within the range of events an execution actually encounters.
+func EstimateParams(prog *engine.Program, runs int, seed int64, opts engine.Options) Estimate {
+	est := Estimate{Threads: prog.NumThreads()}
+	if runs < 1 {
+		runs = 1
+	}
+	var sumK, sumKCom int
+	for i := 0; i < runs; i++ {
+		o := engine.Run(prog, core.NewRandom(), seed+int64(i), opts)
+		sumK += o.Events
+		sumKCom += o.CommEvents
+	}
+	est.K = (sumK + runs/2) / runs
+	est.KCom = (sumKCom + runs/2) / runs
+	if est.K < 1 {
+		est.K = 1
+	}
+	if est.KCom < 1 {
+		est.KCom = 1
+	}
+	return est
+}
+
+// TrialResult aggregates a batch of runs.
+type TrialResult struct {
+	Runs     int
+	Hits     int
+	Aborted  int
+	Deadlock int
+	// TotalEvents across all runs, for averages.
+	TotalEvents int
+	// Elapsed is the summed wall-clock time of the runs.
+	Elapsed time.Duration
+}
+
+// Rate returns the bug hitting rate in percent (the paper's metric).
+func (r TrialResult) Rate() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return 100 * float64(r.Hits) / float64(r.Runs)
+}
+
+// CI95 returns the 95%% Wilson confidence interval of the hit rate, in
+// percent.
+func (r TrialResult) CI95() (low, high float64) {
+	return stats.Wilson95(r.Hits, r.Runs)
+}
+
+// AvgEvents returns the mean number of memory events per run.
+func (r TrialResult) AvgEvents() float64 {
+	if r.Runs == 0 {
+		return 0
+	}
+	return float64(r.TotalEvents) / float64(r.Runs)
+}
+
+// AvgTime returns the mean wall-clock time per run.
+func (r TrialResult) AvgTime() time.Duration {
+	if r.Runs == 0 {
+		return 0
+	}
+	return r.Elapsed / time.Duration(r.Runs)
+}
+
+func (r TrialResult) String() string {
+	return fmt.Sprintf("hits %d/%d (%.1f%%), avg %.0f events, %v/run",
+		r.Hits, r.Runs, r.Rate(), r.AvgEvents(), r.AvgTime().Round(time.Microsecond))
+}
+
+// RunTrials executes prog for runs rounds, one fresh strategy per round,
+// counting rounds whose outcome detect() flags as a bug hit.
+func RunTrials(prog *engine.Program, detect func(*engine.Outcome) bool,
+	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options) TrialResult {
+	var res TrialResult
+	res.Runs = runs
+	for i := 0; i < runs; i++ {
+		o := engine.Run(prog, newStrategy(), seed+int64(i), opts)
+		res.TotalEvents += o.Events
+		res.Elapsed += o.Duration
+		if o.Aborted {
+			res.Aborted++
+		}
+		if o.Deadlocked {
+			res.Deadlock++
+		}
+		if detect(o) {
+			res.Hits++
+		}
+	}
+	return res
+}
+
+// StrategyFactory builds a fresh strategy per run from the measured
+// program parameters.
+type StrategyFactory func(est Estimate) engine.Strategy
+
+// C11Tester is the naive-random baseline factory.
+func C11Tester() StrategyFactory {
+	return func(Estimate) engine.Strategy { return core.NewRandom() }
+}
+
+// POSFactory builds the partial-order-sampling baseline (related work,
+// paper §7).
+func POSFactory() StrategyFactory {
+	return func(Estimate) engine.Strategy { return core.NewPOS() }
+}
+
+// PCTFactory builds the PCT variant with bug depth d; k comes from the
+// estimate.
+func PCTFactory(d int) StrategyFactory {
+	return func(est Estimate) engine.Strategy { return core.NewPCT(d, est.K) }
+}
+
+// PCTWMFactory builds PCTWM with bug depth d and history depth h; kcom
+// comes from the estimate.
+func PCTWMFactory(d, h int) StrategyFactory {
+	return func(est Estimate) engine.Strategy { return core.NewPCTWM(d, h, est.KCom) }
+}
+
+// BenchTrials profiles the benchmark, then runs trials with the factory.
+func BenchTrials(b *benchprog.Benchmark, factory StrategyFactory, runs int, seed int64, extraWrites int) (TrialResult, Estimate) {
+	prog := b.Program(extraWrites)
+	opts := b.Options()
+	est := EstimateParams(prog, 20, seed^0x5eed, opts)
+	res := RunTrials(prog, b.Detect, func() engine.Strategy { return factory(est) }, runs, seed, opts)
+	return res, est
+}
+
+// BestOverH runs PCTWM for h = 1..maxH and returns the best rate together
+// with the h that achieved it (Table 2 reports "Rate (h:x)").
+func BestOverH(b *benchprog.Benchmark, d, maxH, runs int, seed int64) (TrialResult, int) {
+	var best TrialResult
+	bestH := 1
+	for h := 1; h <= maxH; h++ {
+		res, _ := BenchTrials(b, PCTWMFactory(d, h), runs, seed+int64(1000*h), 0)
+		if res.Rate() > best.Rate() || (h == 1 && best.Runs == 0) {
+			best, bestH = res, h
+		}
+	}
+	return best, bestH
+}
+
+// RSD returns the relative standard deviation (percent) of the samples,
+// as reported in Table 4.
+func RSD(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(len(samples))
+	if mean == 0 {
+		return 0
+	}
+	var sq float64
+	for _, s := range samples {
+		sq += (s - mean) * (s - mean)
+	}
+	sd := math.Sqrt(sq / float64(len(samples)))
+	return 100 * sd / mean
+}

@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"pctwm/internal/engine"
+)
+
+// RunTrialsParallel is RunTrials with the rounds spread over worker
+// goroutines. Each round runs in its own engine over the shared immutable
+// program, so the rounds are independent; results are aggregated exactly
+// as in the serial version (per-round Duration sums are CPU time across
+// workers, not wall-clock). workers ≤ 0 selects GOMAXPROCS.
+func RunTrialsParallel(prog *engine.Program, detect func(*engine.Outcome) bool,
+	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options, workers int) TrialResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	if workers <= 1 {
+		return RunTrials(prog, detect, newStrategy, runs, seed, opts)
+	}
+
+	var (
+		mu  sync.Mutex
+		res TrialResult
+		wg  sync.WaitGroup
+	)
+	res.Runs = runs
+	next := make(chan int, runs)
+	for i := 0; i < runs; i++ {
+		next <- i
+	}
+	close(next)
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local TrialResult
+			for i := range next {
+				o := engine.Run(prog, newStrategy(), seed+int64(i), opts)
+				local.TotalEvents += o.Events
+				local.Elapsed += o.Duration
+				if o.Aborted {
+					local.Aborted++
+				}
+				if o.Deadlocked {
+					local.Deadlock++
+				}
+				if detect(o) {
+					local.Hits++
+				}
+			}
+			mu.Lock()
+			res.Hits += local.Hits
+			res.Aborted += local.Aborted
+			res.Deadlock += local.Deadlock
+			res.TotalEvents += local.TotalEvents
+			res.Elapsed += local.Elapsed
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return res
+}

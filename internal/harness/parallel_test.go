@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"testing"
+
+	"pctwm/internal/benchprog"
+	"pctwm/internal/core"
+	"pctwm/internal/engine"
+)
+
+// TestParallelMatchesSerial: the parallel runner visits the same seeds and
+// therefore produces identical hit counts.
+func TestParallelMatchesSerial(t *testing.T) {
+	b, err := benchprog.ByName("rwlock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := b.Program(0)
+	opts := b.Options()
+	newStrategy := func() engine.Strategy { return core.NewPCTWM(2, 1, 10) }
+
+	serial := RunTrials(prog, b.Detect, newStrategy, 300, 7, opts)
+	parallel := RunTrialsParallel(prog, b.Detect, newStrategy, 300, 7, opts, 4)
+	if serial.Hits != parallel.Hits || serial.Runs != parallel.Runs {
+		t.Fatalf("parallel %d/%d != serial %d/%d",
+			parallel.Hits, parallel.Runs, serial.Hits, serial.Runs)
+	}
+	if serial.TotalEvents != parallel.TotalEvents {
+		t.Fatalf("event totals differ: %d vs %d", parallel.TotalEvents, serial.TotalEvents)
+	}
+}
+
+// TestParallelSingleWorkerFallback: degenerate worker counts fall back to
+// the serial path.
+func TestParallelSingleWorkerFallback(t *testing.T) {
+	b, _ := benchprog.ByName("dekker")
+	prog := b.Program(0)
+	res := RunTrialsParallel(prog, b.Detect, func() engine.Strategy { return core.NewRandom() },
+		10, 1, b.Options(), 1)
+	if res.Runs != 10 {
+		t.Fatalf("runs %d", res.Runs)
+	}
+}

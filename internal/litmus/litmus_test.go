@@ -1,0 +1,57 @@
+package litmus
+
+import (
+	"testing"
+
+	"pctwm/internal/core"
+	"pctwm/internal/engine"
+)
+
+// TestSuiteRandom explores every litmus test under the C11Tester-style
+// random strategy: forbidden outcomes must never appear and every weak
+// outcome must be witnessed.
+func TestSuiteRandom(t *testing.T) {
+	for _, lt := range Suite() {
+		lt := lt
+		t.Run(lt.Name, func(t *testing.T) {
+			rep := lt.Run(func() engine.Strategy { return core.NewRandom() }, 2000, 1)
+			if !rep.OK() {
+				t.Fatalf("conformance failure: %s", rep)
+			}
+			if rep.Aborted > 0 || rep.Deadlock > 0 {
+				t.Fatalf("aborted=%d deadlocked=%d: %s", rep.Aborted, rep.Deadlock, rep)
+			}
+		})
+	}
+}
+
+// TestSuitePCT checks that the PCT variant never produces an outcome
+// outside the model.
+func TestSuitePCT(t *testing.T) {
+	for _, lt := range Suite() {
+		lt := lt
+		t.Run(lt.Name, func(t *testing.T) {
+			rep := lt.Run(func() engine.Strategy { return core.NewPCT(3, 20) }, 1000, 2)
+			if len(rep.Illegal) > 0 {
+				t.Fatalf("illegal outcomes under PCT: %s", rep)
+			}
+		})
+	}
+}
+
+// TestSuitePCTWM checks the same for PCTWM across several (d, h) settings.
+func TestSuitePCTWM(t *testing.T) {
+	for _, lt := range Suite() {
+		lt := lt
+		t.Run(lt.Name, func(t *testing.T) {
+			for _, d := range []int{0, 1, 2, 3} {
+				for _, h := range []int{1, 3} {
+					rep := lt.Run(func() engine.Strategy { return core.NewPCTWM(d, h, 10) }, 400, int64(100*d+h))
+					if len(rep.Illegal) > 0 {
+						t.Fatalf("illegal outcomes under PCTWM(d=%d,h=%d): %s", d, h, rep)
+					}
+				}
+			}
+		})
+	}
+}

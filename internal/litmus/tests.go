@@ -1,0 +1,332 @@
+package litmus
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// reg writes a thread-local observation into a result location. Result
+// locations are written by exactly one thread, so non-atomic stores are
+// race-free and land in FinalValues.
+func reg(t *engine.Thread, l memmodel.Loc, v memmodel.Value) {
+	t.Store(l, v, memmodel.NonAtomic)
+}
+
+// StoreBuffering builds the paper's Program SB with the given access
+// order: X=1; a=Y ∥ Y=1; b=X.
+func StoreBuffering(name string, ord memmodel.Order) *Test {
+	p := engine.NewProgram(name)
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, ord)
+		reg(t, ra, t.Load(y, ord))
+	})
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(y, 1, ord)
+		reg(t, rb, t.Load(x, ord))
+	})
+	return &Test{
+		Name:      name,
+		Program:   p,
+		Registers: []string{"a", "b"},
+	}
+}
+
+// SBRelaxed is SB with relaxed accesses: the non-SC outcome a=0 b=0 is a
+// weak behaviour that must be observable (paper §2.1).
+func SBRelaxed() *Test {
+	t := StoreBuffering("SB+rlx", memmodel.Relaxed)
+	t.Description = "store buffering, relaxed: a=0 b=0 allowed"
+	t.Allowed = []string{"a=0 b=0", "a=0 b=1", "a=1 b=0", "a=1 b=1"}
+	t.Weak = []string{"a=0 b=0"}
+	return t
+}
+
+// SBSeqCst is SB with sc accesses: a=0 b=0 is forbidden.
+func SBSeqCst() *Test {
+	t := StoreBuffering("SB+sc", memmodel.SeqCst)
+	t.Description = "store buffering, sc: a=0 b=0 forbidden"
+	t.Allowed = []string{"a=0 b=1", "a=1 b=0", "a=1 b=1"}
+	return t
+}
+
+// SBSCFences is SB with relaxed accesses separated by SC fences: a=0 b=0
+// remains forbidden.
+func SBSCFences() *Test {
+	p := engine.NewProgram("SB+rlx+scfences")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		t.Fence(memmodel.SeqCst)
+		reg(t, ra, t.Load(y, memmodel.Relaxed))
+	})
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(y, 1, memmodel.Relaxed)
+		t.Fence(memmodel.SeqCst)
+		reg(t, rb, t.Load(x, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "SB+rlx+scfences",
+		Description: "store buffering with SC fences: a=0 b=0 forbidden",
+		Program:     p,
+		Registers:   []string{"a", "b"},
+		Allowed:     []string{"a=0 b=1", "a=1 b=0", "a=1 b=1"},
+	}
+}
+
+// MessagePassing builds X=1; Y=1 ∥ a=Y; b=X with the given orders for the
+// flag (Y) accesses; the payload (X) accesses are relaxed.
+func MessagePassing(name string, storeOrd, loadOrd memmodel.Order) *Test {
+	p := engine.NewProgram(name)
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		t.Store(y, 1, storeOrd)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		a := t.Load(y, loadOrd)
+		reg(t, ra, a)
+		reg(t, rb, t.Load(x, memmodel.Relaxed))
+	})
+	return &Test{Name: name, Program: p, Registers: []string{"a", "b"}}
+}
+
+// MPRelaxed allows the stale read a=1 b=0 (weak behaviour).
+func MPRelaxed() *Test {
+	t := MessagePassing("MP+rlx", memmodel.Relaxed, memmodel.Relaxed)
+	t.Description = "message passing, relaxed: a=1 b=0 allowed"
+	t.Allowed = []string{"a=0 b=0", "a=0 b=1", "a=1 b=0", "a=1 b=1"}
+	t.Weak = []string{"a=1 b=0"}
+	return t
+}
+
+// MPRelAcq forbids a=1 b=0: the acquire load of the release store
+// synchronizes.
+func MPRelAcq() *Test {
+	t := MessagePassing("MP+rel+acq", memmodel.Release, memmodel.Acquire)
+	t.Description = "message passing, release/acquire: a=1 b=0 forbidden"
+	t.Allowed = []string{"a=0 b=0", "a=0 b=1", "a=1 b=1"}
+	return t
+}
+
+// MPFences is the paper's Program MP1: relaxed accesses with a release
+// fence before the flag store and an acquire fence after the flag load;
+// a=1 b=0 is forbidden (Figure 1).
+func MPFences() *Test {
+	p := engine.NewProgram("MP1+fences")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		t.Fence(memmodel.Release)
+		t.Store(y, 1, memmodel.Relaxed)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		a := t.Load(y, memmodel.Relaxed)
+		reg(t, ra, a)
+		t.Fence(memmodel.Acquire)
+		reg(t, rb, t.Load(x, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "MP1+fences",
+		Description: "paper MP1: fence-synchronized message passing, a=1 b=0 forbidden",
+		Program:     p,
+		Registers:   []string{"a", "b"},
+		Allowed:     []string{"a=0 b=0", "a=0 b=1", "a=1 b=1"},
+	}
+}
+
+// CoRR checks read-read coherence: two relaxed loads of the same location
+// in one thread may not observe values against modification order.
+func CoRR() *Test {
+	p := engine.NewProgram("CoRR")
+	x := p.Loc("X", 0)
+	r1 := p.Loc("r1", -1)
+	r2 := p.Loc("r2", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, r1, t.Load(x, memmodel.Relaxed))
+		reg(t, r2, t.Load(x, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "CoRR",
+		Description: "coherence: r1=1 r2=0 forbidden",
+		Program:     p,
+		Registers:   []string{"r1", "r2"},
+		Allowed:     []string{"r1=0 r2=0", "r1=0 r2=1", "r1=1 r2=1"},
+	}
+}
+
+// LoadBuffering checks that po ∪ rf stays acyclic in the C11Tester model
+// (paper §4: out-of-thin-air is forbidden): a=1 b=1 must not occur.
+func LoadBuffering() *Test {
+	p := engine.NewProgram("LB+rlx")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, ra, t.Load(y, memmodel.Relaxed))
+		t.Store(x, 1, memmodel.Relaxed)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, rb, t.Load(x, memmodel.Relaxed))
+		t.Store(y, 1, memmodel.Relaxed)
+	})
+	return &Test{
+		Name:        "LB+rlx",
+		Description: "load buffering: a=1 b=1 forbidden under (po ∪ rf) acyclicity",
+		Program:     p,
+		Registers:   []string{"a", "b"},
+		Allowed:     []string{"a=0 b=0", "a=0 b=1", "a=1 b=0"},
+	}
+}
+
+// IRIW builds the independent-reads-of-independent-writes shape with one
+// access order for every operation.
+func IRIW(name string, ord memmodel.Order) *Test {
+	p := engine.NewProgram(name)
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	r1 := p.Loc("r1", -1)
+	r2 := p.Loc("r2", -1)
+	r3 := p.Loc("r3", -1)
+	r4 := p.Loc("r4", -1)
+	p.AddThread(func(t *engine.Thread) { t.Store(x, 1, ord) })
+	p.AddThread(func(t *engine.Thread) { t.Store(y, 1, ord) })
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, r1, t.Load(x, ord))
+		reg(t, r2, t.Load(y, ord))
+	})
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, r3, t.Load(y, ord))
+		reg(t, r4, t.Load(x, ord))
+	})
+	return &Test{Name: name, Program: p, Registers: []string{"r1", "r2", "r3", "r4"}}
+}
+
+// IRIWRelaxed allows the readers to disagree on the write order.
+func IRIWRelaxed() *Test {
+	t := IRIW("IRIW+rlx", memmodel.Relaxed)
+	t.Description = "IRIW, relaxed: disagreeing readers allowed"
+	t.Weak = []string{"r1=1 r2=0 r3=1 r4=0"}
+	return t
+}
+
+// IRIWSeqCst forbids disagreement: SC accesses are globally ordered.
+func IRIWSeqCst() *Test {
+	t := IRIW("IRIW+sc", memmodel.SeqCst)
+	t.Description = "IRIW, sc: disagreeing readers forbidden"
+	t.Forbidden = []string{"r1=1 r2=0 r3=1 r4=0"}
+	return t
+}
+
+// RMWAtomicity checks that concurrent fetch-adds never lose updates.
+func RMWAtomicity() *Test {
+	p := engine.NewProgram("RMW-atomicity")
+	x := p.Loc("X", 0)
+	p.AddThread(func(t *engine.Thread) { t.FetchAdd(x, 1, memmodel.Relaxed) })
+	p.AddThread(func(t *engine.Thread) { t.FetchAdd(x, 1, memmodel.Relaxed) })
+	return &Test{
+		Name:        "RMW-atomicity",
+		Description: "two concurrent increments always sum",
+		Program:     p,
+		Registers:   []string{"X"},
+		Allowed:     []string{"X=2"},
+	}
+}
+
+// CASExclusive checks that exactly one of two competing strong CAS
+// operations succeeds.
+func CASExclusive() *Test {
+	p := engine.NewProgram("CAS-exclusive")
+	x := p.Loc("X", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		_, ok := t.CAS(x, 0, 1, memmodel.AcqRel, memmodel.Acquire)
+		reg(t, ra, b2v(ok))
+	})
+	p.AddThread(func(t *engine.Thread) {
+		_, ok := t.CAS(x, 0, 2, memmodel.AcqRel, memmodel.Acquire)
+		reg(t, rb, b2v(ok))
+	})
+	return &Test{
+		Name:        "CAS-exclusive",
+		Description: "exactly one competing CAS succeeds",
+		Program:     p,
+		Registers:   []string{"a", "b", "X"},
+		Allowed:     []string{"a=1 b=0 X=1", "a=0 b=1 X=2"},
+	}
+}
+
+// ReleaseSequence checks rf+ chaining: an acquire load that reads an RMW
+// which read from a release store synchronizes with that store.
+func ReleaseSequence() *Test {
+	p := engine.NewProgram("release-sequence")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(y, 7, memmodel.Relaxed)
+		t.Store(x, 1, memmodel.Release)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		t.FetchAdd(x, 10, memmodel.Relaxed)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		a := t.Load(x, memmodel.Acquire)
+		reg(t, ra, a)
+		reg(t, rb, t.Load(y, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "release-sequence",
+		Description: "rf+ through a relaxed RMW still synchronizes (a∈{1,11} ⇒ b=7)",
+		Program:     p,
+		Registers:   []string{"a", "b"},
+		Forbidden:   []string{"a=1 b=0", "a=11 b=0"},
+	}
+}
+
+func b2v(b bool) memmodel.Value {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Suite returns the full conformance suite, including the extended
+// coherence/causality tests of ExtendedSuite.
+func Suite() []*Test {
+	base := []*Test{
+		SBRelaxed(),
+		SBSeqCst(),
+		SBSCFences(),
+		MPRelaxed(),
+		MPRelAcq(),
+		MPFences(),
+		CoRR(),
+		LoadBuffering(),
+		IRIWRelaxed(),
+		IRIWSeqCst(),
+		RMWAtomicity(),
+		CASExclusive(),
+		ReleaseSequence(),
+	}
+	base = append(base, ExtendedSuite()...)
+	return append(base, MoreSuite()...)
+}

@@ -1,0 +1,267 @@
+package litmus
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// CoWW: same-thread writes are mo-ordered by program order.
+func CoWW() *Test {
+	p := engine.NewProgram("CoWW")
+	x := p.Loc("X", 0)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		t.Store(x, 2, memmodel.Relaxed)
+	})
+	return &Test{
+		Name:        "CoWW",
+		Description: "write-write coherence: mo follows po",
+		Program:     p,
+		Registers:   []string{"X"},
+		Allowed:     []string{"X=2"},
+	}
+}
+
+// CoWR: a thread never reads a write older than its own last write.
+func CoWR() *Test {
+	p := engine.NewProgram("CoWR")
+	x := p.Loc("X", 0)
+	r := p.Loc("r", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		reg(t, r, t.Load(x, memmodel.Relaxed))
+	})
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 2, memmodel.Relaxed)
+	})
+	return &Test{
+		Name:        "CoWR",
+		Description: "write-read coherence: the read sees the own write or an mo-later one",
+		Program:     p,
+		Registers:   []string{"r", "X"},
+		// Reading the initial 0 after writing 1 would violate coherence.
+		Allowed: []string{"r=1 X=1", "r=1 X=2", "r=2 X=2"},
+	}
+}
+
+// CoRW: a read never observes a write that is mo-after the reading
+// thread's own later write (and never its own future write).
+func CoRW() *Test {
+	p := engine.NewProgram("CoRW")
+	x := p.Loc("X", 0)
+	r := p.Loc("r", -1)
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, r, t.Load(x, memmodel.Relaxed))
+		t.Store(x, 2, memmodel.Relaxed)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+	})
+	return &Test{
+		Name:        "CoRW",
+		Description: "read-write coherence: no thread reads its own future write",
+		Program:     p,
+		Registers:   []string{"r"},
+		Allowed:     []string{"r=0", "r=1"},
+	}
+}
+
+// TwoPlusTwoW: opposing write pairs; with an append-only modification
+// order the outcome X=1 Y=1 requires contradictory orderings.
+func TwoPlusTwoW() *Test {
+	p := engine.NewProgram("2+2W")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		t.Store(y, 2, memmodel.Relaxed)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(y, 1, memmodel.Relaxed)
+		t.Store(x, 2, memmodel.Relaxed)
+	})
+	return &Test{
+		Name:        "2+2W",
+		Description: "two-plus-two writes: X=1 Y=1 unreachable with execution-order mo",
+		Program:     p,
+		Registers:   []string{"X", "Y"},
+		Allowed:     []string{"X=1 Y=2", "X=2 Y=1", "X=2 Y=2"},
+	}
+}
+
+// WRC is write-to-read causality: even a relaxed read pulls the observed
+// location into the reader's view, so releasing after it transfers the
+// coherence floor (read-coherence forbids the stale final read).
+func WRC() *Test {
+	p := engine.NewProgram("WRC")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	r1 := p.Loc("r1", -1)
+	r2 := p.Loc("r2", -1)
+	r3 := p.Loc("r3", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, r1, t.Load(x, memmodel.Relaxed))
+		t.Store(y, 1, memmodel.Release)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, r2, t.Load(y, memmodel.Acquire))
+		reg(t, r3, t.Load(x, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "WRC",
+		Description: "write-to-read causality: r1=1 ∧ r2=1 ⇒ r3=1",
+		Program:     p,
+		Registers:   []string{"r1", "r2", "r3"},
+		Forbidden:   []string{"r1=1 r2=1 r3=0"},
+		Weak:        []string{"r1=1 r2=0 r3=0"},
+	}
+}
+
+// MPRelFenceOnly: a release fence without a matching acquire does not
+// synchronize — the stale read stays allowed.
+func MPRelFenceOnly() *Test {
+	p := engine.NewProgram("MP+relfence-only")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		t.Fence(memmodel.Release)
+		t.Store(y, 1, memmodel.Relaxed)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, ra, t.Load(y, memmodel.Relaxed))
+		reg(t, rb, t.Load(x, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "MP+relfence-only",
+		Description: "one-sided release fence: a=1 b=0 still allowed",
+		Program:     p,
+		Registers:   []string{"a", "b"},
+		Allowed:     []string{"a=0 b=0", "a=0 b=1", "a=1 b=0", "a=1 b=1"},
+		Weak:        []string{"a=1 b=0"},
+	}
+}
+
+// MPAcqFenceOnly: an acquire fence without a matching release source does
+// not synchronize either.
+func MPAcqFenceOnly() *Test {
+	p := engine.NewProgram("MP+acqfence-only")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		t.Store(y, 1, memmodel.Relaxed)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, ra, t.Load(y, memmodel.Relaxed))
+		t.Fence(memmodel.Acquire)
+		reg(t, rb, t.Load(x, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "MP+acqfence-only",
+		Description: "one-sided acquire fence: a=1 b=0 still allowed",
+		Program:     p,
+		Registers:   []string{"a", "b"},
+		Allowed:     []string{"a=0 b=0", "a=0 b=1", "a=1 b=0", "a=1 b=1"},
+		Weak:        []string{"a=1 b=0"},
+	}
+}
+
+// ReleaseSequenceBroken: RC20 release sequences do not extend through a
+// later same-thread relaxed write — reading the relaxed overwrite gives
+// no synchronization.
+func ReleaseSequenceBroken() *Test {
+	p := engine.NewProgram("relseq-broken")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(y, 7, memmodel.Relaxed)
+		t.Store(x, 1, memmodel.Release)
+		t.Store(x, 2, memmodel.Relaxed) // breaks the release sequence (RC20)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		a := t.Load(x, memmodel.Acquire)
+		reg(t, ra, a)
+		reg(t, rb, t.Load(y, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "relseq-broken",
+		Description: "same-thread relaxed overwrite breaks the release sequence: a=2 b=0 allowed, a=1 b=0 forbidden",
+		Program:     p,
+		Registers:   []string{"a", "b"},
+		Allowed:     []string{"a=0 b=0", "a=0 b=7", "a=1 b=7", "a=2 b=0", "a=2 b=7"},
+		Weak:        []string{"a=2 b=0"},
+	}
+}
+
+// SBOneSCFence: an SC fence in only one thread of SB does not restore
+// sequential consistency.
+func SBOneSCFence() *Test {
+	p := engine.NewProgram("SB+one-scfence")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		t.Fence(memmodel.SeqCst)
+		reg(t, ra, t.Load(y, memmodel.Relaxed))
+	})
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(y, 1, memmodel.Relaxed)
+		reg(t, rb, t.Load(x, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "SB+one-scfence",
+		Description: "one-sided SC fence: a=0 b=0 still allowed",
+		Program:     p,
+		Registers:   []string{"a", "b"},
+		Allowed:     []string{"a=0 b=0", "a=0 b=1", "a=1 b=0", "a=1 b=1"},
+		Weak:        []string{"a=0 b=0"},
+	}
+}
+
+// FetchAddChain: a chain of relaxed fetch-adds is atomic and totally
+// ordered; the sum never loses increments.
+func FetchAddChain() *Test {
+	p := engine.NewProgram("fetchadd-chain")
+	x := p.Loc("X", 0)
+	for i := 0; i < 3; i++ {
+		p.AddThread(func(t *engine.Thread) {
+			t.FetchAdd(x, 1, memmodel.Relaxed)
+			t.FetchAdd(x, 10, memmodel.Relaxed)
+		})
+	}
+	return &Test{
+		Name:        "fetchadd-chain",
+		Description: "six concurrent relaxed RMWs always sum to 33",
+		Program:     p,
+		Registers:   []string{"X"},
+		Allowed:     []string{"X=33"},
+	}
+}
+
+// ExtendedSuite returns the additional conformance tests beyond Suite.
+func ExtendedSuite() []*Test {
+	return []*Test{
+		CoWW(),
+		CoWR(),
+		CoRW(),
+		TwoPlusTwoW(),
+		WRC(),
+		MPRelFenceOnly(),
+		MPAcqFenceOnly(),
+		ReleaseSequenceBroken(),
+		SBOneSCFence(),
+		FetchAddChain(),
+	}
+}

@@ -1,0 +1,267 @@
+package litmus
+
+import (
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// CoRR2: two observer threads may not disagree on the modification order
+// of one location (sc-per-location is a total order).
+func CoRR2() *Test {
+	p := engine.NewProgram("CoRR2")
+	x := p.Loc("X", 0)
+	r1 := p.Loc("r1", -1)
+	r2 := p.Loc("r2", -1)
+	r3 := p.Loc("r3", -1)
+	r4 := p.Loc("r4", -1)
+	p.AddThread(func(t *engine.Thread) { t.Store(x, 1, memmodel.Relaxed) })
+	p.AddThread(func(t *engine.Thread) { t.Store(x, 2, memmodel.Relaxed) })
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, r1, t.Load(x, memmodel.Relaxed))
+		reg(t, r2, t.Load(x, memmodel.Relaxed))
+	})
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, r3, t.Load(x, memmodel.Relaxed))
+		reg(t, r4, t.Load(x, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "CoRR2",
+		Description: "observers agree on mo: r1=1 r2=2 with r3=2 r4=1 is forbidden",
+		Program:     p,
+		Registers:   []string{"r1", "r2", "r3", "r4"},
+		Forbidden:   []string{"r1=1 r2=2 r3=2 r4=1", "r1=2 r2=1 r3=1 r4=2"},
+	}
+}
+
+// SShape is the S litmus shape: Wx=2; Wy=1(rel) ∥ Ry=1(acq); Wx=1. When
+// the acquire read observes the release write, coherence plus the sw edge
+// force the second thread's Wx=1 mo-after Wx=2 in our append-order mo —
+// the final X must then be 1.
+func SShape() *Test {
+	p := engine.NewProgram("S")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 2, memmodel.Relaxed)
+		t.Store(y, 1, memmodel.Release)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		a := t.Load(y, memmodel.Acquire)
+		reg(t, ra, a)
+		if a == 1 {
+			t.Store(x, 1, memmodel.Relaxed)
+		}
+	})
+	return &Test{
+		Name:        "S",
+		Description: "S shape: a=1 implies the final X is 1 (hb into mo)",
+		Program:     p,
+		Registers:   []string{"a", "X"},
+		Allowed:     []string{"a=0 X=2", "a=1 X=1"},
+	}
+}
+
+// RShape: two writers to X, the second thread observes Y through an
+// acquire load; SC-per-location keeps the histories coherent.
+func RShape() *Test {
+	p := engine.NewProgram("R")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		t.Store(y, 1, memmodel.Release)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 2, memmodel.Relaxed)
+		reg(t, ra, t.Load(y, memmodel.Acquire))
+	})
+	return &Test{
+		Name:        "R",
+		Description: "R shape: every interleaved outcome is coherent",
+		Program:     p,
+		Registers:   []string{"a", "X"},
+		Allowed:     []string{"a=0 X=1", "a=0 X=2", "a=1 X=1", "a=1 X=2"},
+	}
+}
+
+// ISA2: a three-thread release/acquire chain transfers the payload.
+func ISA2() *Test {
+	p := engine.NewProgram("ISA2")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	z := p.Loc("Z", 0)
+	r1 := p.Loc("r1", -1)
+	r2 := p.Loc("r2", -1)
+	r3 := p.Loc("r3", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		t.Store(y, 1, memmodel.Release)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		a := t.Load(y, memmodel.Acquire)
+		reg(t, r1, a)
+		if a == 1 {
+			t.Store(z, 1, memmodel.Release)
+		}
+	})
+	p.AddThread(func(t *engine.Thread) {
+		b := t.Load(z, memmodel.Acquire)
+		reg(t, r2, b)
+		reg(t, r3, t.Load(x, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "ISA2",
+		Description: "release/acquire chains are transitive: r1=1 ∧ r2=1 ⇒ r3=1",
+		Program:     p,
+		Registers:   []string{"r1", "r2", "r3"},
+		Forbidden:   []string{"r1=1 r2=1 r3=0"},
+	}
+}
+
+// ISA2Relaxed breaks the middle link: the stale read returns.
+func ISA2Relaxed() *Test {
+	p := engine.NewProgram("ISA2+rlx")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	z := p.Loc("Z", 0)
+	r1 := p.Loc("r1", -1)
+	r2 := p.Loc("r2", -1)
+	r3 := p.Loc("r3", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		t.Store(y, 1, memmodel.Release)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		a := t.Load(y, memmodel.Relaxed) // broken link: should be acquire
+		reg(t, r1, a)
+		if a == 1 {
+			t.Store(z, 1, memmodel.Release)
+		}
+	})
+	p.AddThread(func(t *engine.Thread) {
+		b := t.Load(z, memmodel.Acquire)
+		reg(t, r2, b)
+		reg(t, r3, t.Load(x, memmodel.Relaxed))
+	})
+	return &Test{
+		Name:        "ISA2+rlx",
+		Description: "a relaxed middle link breaks the chain: r1=1 r2=1 r3=0 allowed",
+		Program:     p,
+		Registers:   []string{"r1", "r2", "r3"},
+		Weak:        []string{"r1=1 r2=1 r3=0"},
+	}
+}
+
+// ExchangeOrder: exchanges are totally ordered like every RMW; the two
+// threads' old values are never equal.
+func ExchangeOrder() *Test {
+	p := engine.NewProgram("exchange-order")
+	x := p.Loc("X", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, ra, t.Exchange(x, 1, memmodel.AcqRel))
+	})
+	p.AddThread(func(t *engine.Thread) {
+		reg(t, rb, t.Exchange(x, 2, memmodel.AcqRel))
+	})
+	return &Test{
+		Name:        "exchange-order",
+		Description: "exchanges read distinct predecessors",
+		Program:     p,
+		Registers:   []string{"a", "b", "X"},
+		Allowed:     []string{"a=0 b=1 X=2", "a=2 b=0 X=1"},
+	}
+}
+
+// SBRMW: RMWs on both sides of SB read the mo-maximal write, so the
+// store-buffering outcome vanishes (a classic repair for SB).
+func SBRMW() *Test {
+	p := engine.NewProgram("SB+rmw")
+	x := p.Loc("X", 0)
+	y := p.Loc("Y", 0)
+	ra := p.Loc("a", -1)
+	rb := p.Loc("b", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.Relaxed)
+		reg(t, ra, t.FetchAdd(y, 0, memmodel.AcqRel))
+	})
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(y, 1, memmodel.Relaxed)
+		reg(t, rb, t.FetchAdd(x, 0, memmodel.AcqRel))
+	})
+	return &Test{
+		Name:        "SB+rmw",
+		Description: "RMW reads are mo-maximal: a=0 b=0 forbidden",
+		Program:     p,
+		Registers:   []string{"a", "b"},
+		Allowed:     []string{"a=0 b=1", "a=1 b=0", "a=1 b=1"},
+	}
+}
+
+// SpawnJoinSync: thread creation and join edges synchronize without any
+// atomics.
+func SpawnJoinSync() *Test {
+	p := engine.NewProgram("spawn-join")
+	x := p.Loc("X", 0)
+	r := p.Loc("r", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 5, memmodel.NonAtomic)
+		h := t.Spawn(func(c *engine.Thread) {
+			v := c.Load(x, memmodel.NonAtomic)
+			c.Store(x, v+1, memmodel.NonAtomic)
+		})
+		t.Join(h)
+		reg(t, r, t.Load(x, memmodel.NonAtomic))
+	})
+	return &Test{
+		Name:        "spawn-join",
+		Description: "spawn/join synchronize plain accesses",
+		Program:     p,
+		Registers:   []string{"r"},
+		Allowed:     []string{"r=6"},
+	}
+}
+
+// SCReadStrong: under the engine's global SC view, an SC read observes
+// the latest SC write (stronger than the C11Tester axiom; documented in
+// EXPERIMENTS.md deviation 1).
+func SCReadStrong() *Test {
+	p := engine.NewProgram("sc-read-strong")
+	x := p.Loc("X", 0)
+	f := p.Loc("F", 0)
+	r := p.Loc("r", -1)
+	p.AddThread(func(t *engine.Thread) {
+		t.Store(x, 1, memmodel.SeqCst)
+		t.Store(f, 1, memmodel.SeqCst)
+	})
+	p.AddThread(func(t *engine.Thread) {
+		if t.Load(f, memmodel.SeqCst) == 1 {
+			reg(t, r, t.Load(x, memmodel.SeqCst))
+		}
+	})
+	return &Test{
+		Name:        "sc-read-strong",
+		Description: "an SC read after an observed SC write sees the latest SC value",
+		Program:     p,
+		Registers:   []string{"r"},
+		Allowed:     []string{"r=-1", "r=1"},
+	}
+}
+
+// MoreSuite returns the third batch of conformance tests.
+func MoreSuite() []*Test {
+	return []*Test{
+		CoRR2(),
+		SShape(),
+		RShape(),
+		ISA2(),
+		ISA2Relaxed(),
+		ExchangeOrder(),
+		SBRMW(),
+		SpawnJoinSync(),
+		SCReadStrong(),
+	}
+}

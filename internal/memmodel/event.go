@@ -1,0 +1,166 @@
+package memmodel
+
+import "fmt"
+
+// Kind classifies an event resulting from a shared memory access or fence
+// (paper §4: R, W, U, F, plus thread-management pseudo-events that carry
+// synchronization in the engine).
+type Kind uint8
+
+const (
+	// KindRead is a load (R).
+	KindRead Kind = iota
+	// KindWrite is a store (W).
+	KindWrite
+	// KindRMW is a successful atomic read-modify-write (U).
+	KindRMW
+	// KindFence is a memory fence (F).
+	KindFence
+	// KindSpawn is thread creation; synchronizes with the child's start.
+	KindSpawn
+	// KindJoin is thread join; the child's termination synchronizes with it.
+	KindJoin
+	// KindAssert is an assertion check; it is not a memory access.
+	KindAssert
+)
+
+var kindNames = [...]string{
+	KindRead:   "R",
+	KindWrite:  "W",
+	KindRMW:    "U",
+	KindFence:  "F",
+	KindSpawn:  "Spawn",
+	KindJoin:   "Join",
+	KindAssert: "Assert",
+}
+
+// String returns the paper's single-letter name for memory events.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsMemoryAccess reports whether the kind touches a memory location.
+func (k Kind) IsMemoryAccess() bool {
+	return k == KindRead || k == KindWrite || k == KindRMW
+}
+
+// Reads reports whether the event observes a value (R ∪ U, the paper's
+// "R = R ∪ U").
+func (k Kind) Reads() bool { return k == KindRead || k == KindRMW }
+
+// Writes reports whether the event produces a value (W ∪ U, the paper's
+// "W = W ∪ U").
+func (k Kind) Writes() bool { return k == KindWrite || k == KindRMW }
+
+// ThreadID identifies a thread in an execution. Thread 0 is the
+// initialization pseudo-thread that performs the initial writes.
+type ThreadID int32
+
+// InitThread is the pseudo-thread owning initialization writes.
+const InitThread ThreadID = 0
+
+// EventID uniquely identifies an event within one execution.
+type EventID int32
+
+// NoEvent is the zero EventID sentinel (no event).
+const NoEvent EventID = -1
+
+// Loc identifies a shared memory location. Locations are allocated by the
+// engine; the zero value is invalid.
+type Loc int32
+
+// NoLoc marks label fields that do not reference a location (fences:
+// loc = rVal = wVal = ⊥, paper §4).
+const NoLoc Loc = 0
+
+// Value is the value stored at a location. Benchmarks encode pointers as
+// the Loc of the pointed-to cell.
+type Value int64
+
+// Label describes an event: the operation kind, the memory order, the
+// location, and the read/written values (paper §4, ⟨op, loc, rVal, wVal⟩).
+type Label struct {
+	Kind  Kind
+	Order Order
+	Loc   Loc
+	RVal  Value
+	WVal  Value
+}
+
+// IsCommunicationEvent implements the paper's isCommunicationEvent
+// (Algorithm 1, lines 15-16): a communication event is a potential *sink*
+// of a communication relation — an event that can receive updates from
+// other threads (Definition 3: "a sink event communicates the updates of
+// other threads to its local thread"). These are reads, RMWs, and
+// acquire-or-stronger fences; SC reads/RMWs/fences are covered by those
+// cases. A plain SC *store* is excluded: although Algorithm 1 writes the
+// set as (SC ∪ R ∪ F⊒acq), the paper's own §3.3 example states that
+// Program P1 — whose writes are all SC — has "only one possible
+// communication sink, the load operation in the assertion", so the SC
+// component is read as SC events that can observe others.
+func (l Label) IsCommunicationEvent() bool {
+	switch l.Kind {
+	case KindRead, KindRMW:
+		return true
+	case KindFence:
+		return l.Order.IsAcquire() || l.Order.IsSC()
+	default:
+		return false
+	}
+}
+
+// IsCommunicationSource reports whether the event can be the source of a
+// communication relation: an SC event, a write, or a release fence
+// (Definition 3: dom(com)).
+func (l Label) IsCommunicationSource() bool {
+	switch l.Kind {
+	case KindWrite, KindRMW:
+		return true
+	case KindFence:
+		return l.Order.IsRelease() || l.Order.IsSC()
+	case KindRead:
+		return l.Order.IsSC()
+	default:
+		return false
+	}
+}
+
+func (l Label) String() string {
+	switch l.Kind {
+	case KindRead:
+		return fmt.Sprintf("R%s(x%d,%d)", subscript(l.Order), l.Loc, l.RVal)
+	case KindWrite:
+		return fmt.Sprintf("W%s(x%d,%d)", subscript(l.Order), l.Loc, l.WVal)
+	case KindRMW:
+		return fmt.Sprintf("U%s(x%d,%d->%d)", subscript(l.Order), l.Loc, l.RVal, l.WVal)
+	case KindFence:
+		return fmt.Sprintf("F%s", subscript(l.Order))
+	default:
+		return l.Kind.String()
+	}
+}
+
+func subscript(o Order) string { return "[" + o.String() + "]" }
+
+// Event is the tuple ⟨id, tid, lab⟩ of paper §4, extended with the
+// per-thread program-order index (events of one thread are po-totally
+// ordered by Index) and, for writes, the location timestamp (mo position).
+type Event struct {
+	ID    EventID
+	TID   ThreadID
+	Index int // po index within the thread, starting at 0
+	Label Label
+	// Stamp is the modification-order timestamp for W ∪ U events
+	// (1-based append order per location); 0 otherwise.
+	Stamp TS
+	// ReadsFrom is the EventID of the write this R ∪ U event reads from;
+	// NoEvent otherwise.
+	ReadsFrom EventID
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("e%d:t%d#%d:%s", e.ID, e.TID, e.Index, e.Label)
+}

@@ -1,0 +1,219 @@
+package memmodel
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderPredicates(t *testing.T) {
+	cases := []struct {
+		o                    Order
+		atomic, acq, rel, sc bool
+	}{
+		{NonAtomic, false, false, false, false},
+		{Relaxed, true, false, false, false},
+		{Acquire, true, true, false, false},
+		{Release, true, false, true, false},
+		{AcqRel, true, true, true, false},
+		{SeqCst, true, true, true, true},
+	}
+	for _, c := range cases {
+		if c.o.IsAtomic() != c.atomic || c.o.IsAcquire() != c.acq ||
+			c.o.IsRelease() != c.rel || c.o.IsSC() != c.sc {
+			t.Errorf("%s: predicates (%v,%v,%v,%v), want (%v,%v,%v,%v)",
+				c.o, c.o.IsAtomic(), c.o.IsAcquire(), c.o.IsRelease(), c.o.IsSC(),
+				c.atomic, c.acq, c.rel, c.sc)
+		}
+		if !c.o.Valid() {
+			t.Errorf("%s not valid", c.o)
+		}
+	}
+	if Order(200).Valid() {
+		t.Error("garbage order reported valid")
+	}
+}
+
+func TestOrderStrings(t *testing.T) {
+	want := map[Order]string{
+		NonAtomic: "na", Relaxed: "rlx", Acquire: "acq",
+		Release: "rel", AcqRel: "acq-rel", SeqCst: "sc",
+	}
+	for o, s := range want {
+		if o.String() != s {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), s)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !KindRead.Reads() || !KindRMW.Reads() || KindWrite.Reads() {
+		t.Error("Reads predicate wrong")
+	}
+	if !KindWrite.Writes() || !KindRMW.Writes() || KindRead.Writes() {
+		t.Error("Writes predicate wrong")
+	}
+	for _, k := range []Kind{KindRead, KindWrite, KindRMW} {
+		if !k.IsMemoryAccess() {
+			t.Errorf("%s should be a memory access", k)
+		}
+	}
+	for _, k := range []Kind{KindFence, KindSpawn, KindJoin, KindAssert} {
+		if k.IsMemoryAccess() {
+			t.Errorf("%s should not be a memory access", k)
+		}
+	}
+}
+
+// TestCommunicationEvents pins Definition 3: sinks are reads, RMWs and
+// acquire-or-SC fences; plain stores (even SC ones) and release fences
+// are sources, not sinks.
+func TestCommunicationEvents(t *testing.T) {
+	sink := func(k Kind, o Order) bool { return Label{Kind: k, Order: o}.IsCommunicationEvent() }
+	src := func(k Kind, o Order) bool { return Label{Kind: k, Order: o}.IsCommunicationSource() }
+
+	if !sink(KindRead, Relaxed) || !sink(KindRMW, Relaxed) || !sink(KindFence, Acquire) || !sink(KindFence, SeqCst) {
+		t.Error("missing communication sinks")
+	}
+	if sink(KindWrite, SeqCst) || sink(KindWrite, Release) || sink(KindFence, Release) || sink(KindSpawn, Relaxed) {
+		t.Error("spurious communication sinks")
+	}
+	if !src(KindWrite, Relaxed) || !src(KindRMW, Relaxed) || !src(KindFence, Release) || !src(KindRead, SeqCst) {
+		t.Error("missing communication sources")
+	}
+	if src(KindRead, Relaxed) || src(KindFence, Acquire) {
+		t.Error("spurious communication sources")
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	l := Label{Kind: KindRMW, Order: AcqRel, Loc: 3, RVal: 1, WVal: 2}
+	if s := l.String(); !strings.Contains(s, "U") || !strings.Contains(s, "acq-rel") {
+		t.Errorf("label string %q", s)
+	}
+	e := Event{ID: 5, TID: 2, Index: 1, Label: l}
+	if s := e.String(); !strings.Contains(s, "e5") || !strings.Contains(s, "t2") {
+		t.Errorf("event string %q", s)
+	}
+}
+
+func TestViewBasics(t *testing.T) {
+	var v View
+	if v.Get(1) != 0 || v.Len() != 0 {
+		t.Fatal("zero view not empty")
+	}
+	v.Set(1, 5)
+	v.Set(1, 3) // must not regress
+	if v.Get(1) != 5 {
+		t.Fatalf("Get(1) = %d, want 5", v.Get(1))
+	}
+	v.Set(2, 1)
+	if got := v.String(); got != "{(x1,5), (x2,1)}" {
+		t.Fatalf("String() = %q", got)
+	}
+	c := v.Clone()
+	c.Set(1, 9)
+	if v.Get(1) != 5 {
+		t.Fatal("Clone aliases the original")
+	}
+	if !v.Leq(c) || c.Leq(v) {
+		t.Fatal("Leq wrong")
+	}
+}
+
+func TestViewJoinLoc(t *testing.T) {
+	var a, b View
+	b.Set(1, 4)
+	b.Set(2, 7)
+	a.JoinLoc(b, 1)
+	if a.Get(1) != 4 || a.Get(2) != 0 {
+		t.Fatalf("JoinLoc leaked entries: %s", a)
+	}
+}
+
+// randomView builds a view from fuzz input.
+func randomView(r *rand.Rand) View {
+	var v View
+	n := r.Intn(6)
+	for i := 0; i < n; i++ {
+		v.Set(Loc(1+r.Intn(5)), TS(1+r.Intn(20)))
+	}
+	return v
+}
+
+// TestViewJoinLattice checks the join-semilattice laws of ⊔mo with
+// property-based testing: commutativity, associativity, idempotence, and
+// that join is the least upper bound w.r.t. Leq.
+func TestViewJoinLattice(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomView(r), randomView(r), randomView(r)
+
+		ab := a.Clone()
+		ab.Join(b)
+		ba := b.Clone()
+		ba.Join(a)
+		if !ab.Equal(ba) {
+			t.Log("join not commutative")
+			return false
+		}
+
+		abc1 := ab.Clone()
+		abc1.Join(c)
+		bc := b.Clone()
+		bc.Join(c)
+		abc2 := a.Clone()
+		abc2.Join(bc)
+		if !abc1.Equal(abc2) {
+			t.Log("join not associative")
+			return false
+		}
+
+		aa := a.Clone()
+		aa.Join(a)
+		if !aa.Equal(a) {
+			t.Log("join not idempotent")
+			return false
+		}
+
+		if !a.Leq(ab) || !b.Leq(ab) {
+			t.Log("join not an upper bound")
+			return false
+		}
+		// Least: any upper bound u of a and b dominates a⊔b.
+		u := ab.Clone()
+		u.Set(5, 99)
+		if !ab.Leq(u) {
+			t.Log("join not least")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestViewLeqPartialOrder checks reflexivity, antisymmetry and
+// transitivity of Leq.
+func TestViewLeqPartialOrder(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomView(r), randomView(r)
+		if !a.Leq(a) {
+			return false
+		}
+		if a.Leq(b) && b.Leq(a) && !a.Equal(b) {
+			return false
+		}
+		c := a.Clone()
+		c.Join(b)
+		cc := c.Clone()
+		cc.Set(1, 50)
+		return a.Leq(c) && c.Leq(cc) && a.Leq(cc) // transitivity along a chain
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+// Package memmodel defines the vocabulary of the C11-style weak memory
+// model used throughout this repository: memory orders, event kinds and
+// labels, per-location timestamps, thread views, and the message "bags"
+// that communicate views between threads (paper §4 and §5.1).
+package memmodel
+
+import "fmt"
+
+// Order is a C11 memory order attached to an atomic access or fence, plus
+// NonAtomic for plain (racy) accesses.
+type Order uint8
+
+const (
+	// NonAtomic marks a plain, non-atomic access. Conflicting unordered
+	// non-atomic accesses are data races.
+	NonAtomic Order = iota
+	// Relaxed is memory_order_relaxed: atomicity only, no synchronization.
+	Relaxed
+	// Acquire is memory_order_acquire (loads and fences).
+	Acquire
+	// Release is memory_order_release (stores and fences).
+	Release
+	// AcqRel is memory_order_acq_rel (RMWs and fences).
+	AcqRel
+	// SeqCst is memory_order_seq_cst.
+	SeqCst
+)
+
+var orderNames = [...]string{
+	NonAtomic: "na",
+	Relaxed:   "rlx",
+	Acquire:   "acq",
+	Release:   "rel",
+	AcqRel:    "acq-rel",
+	SeqCst:    "sc",
+}
+
+// String returns the short C11 name of the order (rlx, acq, rel, ...).
+func (o Order) String() string {
+	if int(o) < len(orderNames) {
+		return orderNames[o]
+	}
+	return fmt.Sprintf("order(%d)", uint8(o))
+}
+
+// IsAtomic reports whether the order denotes an atomic access.
+func (o Order) IsAtomic() bool { return o != NonAtomic }
+
+// IsAcquire reports whether an access with this order is an acquire access,
+// i.e. its order is one of acq, acq-rel, sc (paper §2.1).
+func (o Order) IsAcquire() bool { return o == Acquire || o == AcqRel || o == SeqCst }
+
+// IsRelease reports whether an access with this order is a release access,
+// i.e. its order is one of rel, acq-rel, sc (paper §2.1).
+func (o Order) IsRelease() bool { return o == Release || o == AcqRel || o == SeqCst }
+
+// IsSC reports whether the order is sequentially consistent.
+func (o Order) IsSC() bool { return o == SeqCst }
+
+// Valid reports whether o is one of the defined orders.
+func (o Order) Valid() bool { return int(o) < len(orderNames) }

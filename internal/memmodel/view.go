@@ -1,0 +1,123 @@
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TS is a per-location modification-order timestamp. Writes to one
+// location receive increasing timestamps 1, 2, 3, … in mo order; 0 means
+// "before every write", i.e. the location is unknown to the view.
+type TS int32
+
+// View maps locations to the mo-maximal write timestamp observed for each
+// location (Definition 1). A view is the operational representation of the
+// paper's view(x) = maximal_mo(E_x): since mo is totally ordered per
+// location and timestamps follow mo, one timestamp per location suffices.
+//
+// The zero value is the empty view (only initialization writes, which have
+// timestamp 1 once a location exists; a missing entry means "no opinion",
+// i.e. floor 0).
+type View struct {
+	ts map[Loc]TS
+}
+
+// NewView returns an empty view.
+func NewView() View { return View{} }
+
+// Get returns the timestamp the view holds for loc (0 if none).
+func (v View) Get(loc Loc) TS { return v.ts[loc] }
+
+// Set records timestamp t for loc if it advances the view. It implements
+// the single-location case of ⊔mo: view(x) ← max(view(x), t).
+func (v *View) Set(loc Loc, t TS) {
+	if t <= v.ts[loc] {
+		return
+	}
+	if v.ts == nil {
+		v.ts = make(map[Loc]TS, 8)
+	}
+	v.ts[loc] = t
+}
+
+// Join merges other into v on all locations (Definition 1: combining views
+// on all memory locations, ⊔mo(view1, view2)).
+func (v *View) Join(other View) {
+	if len(other.ts) == 0 {
+		return
+	}
+	if v.ts == nil {
+		v.ts = make(map[Loc]TS, len(other.ts))
+	}
+	for loc, t := range other.ts {
+		if t > v.ts[loc] {
+			v.ts[loc] = t
+		}
+	}
+}
+
+// JoinLoc merges only the entry for loc from other into v (the relaxed-read
+// case of Algorithm 2 line 16: the thread view is updated only at e.loc).
+func (v *View) JoinLoc(other View, loc Loc) {
+	if t := other.ts[loc]; t > v.ts[loc] {
+		v.Set(loc, t)
+	}
+}
+
+// Clone returns an independent copy of the view. Clones are used as the
+// "bag" a write event carries (Algorithm 2 line 26: e.bag ← t.view).
+func (v View) Clone() View {
+	if len(v.ts) == 0 {
+		return View{}
+	}
+	c := make(map[Loc]TS, len(v.ts))
+	for loc, t := range v.ts {
+		c[loc] = t
+	}
+	return View{ts: c}
+}
+
+// Len returns the number of locations the view has an opinion on.
+func (v View) Len() int { return len(v.ts) }
+
+// Leq reports whether v ⊑ other pointwise (every entry of v is covered by
+// other). The empty view is ⊑ everything.
+func (v View) Leq(other View) bool {
+	for loc, t := range v.ts {
+		if t > other.ts[loc] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports pointwise equality of the non-zero entries.
+func (v View) Equal(other View) bool {
+	return v.Leq(other) && other.Leq(v)
+}
+
+// Locations returns the locations with non-zero entries in ascending order.
+func (v View) Locations() []Loc {
+	locs := make([]Loc, 0, len(v.ts))
+	for loc := range v.ts {
+		locs = append(locs, loc)
+	}
+	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
+	return locs
+}
+
+// String renders the view as {(x1,ts), …} in location order, mirroring the
+// paper's figures.
+func (v View) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, loc := range v.Locations() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(x%d,%d)", loc, v.ts[loc])
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,168 @@
+// Package race implements a vector-clock data-race detector in the style
+// of FastTrack, specialized to the engine's serialized execution: an access
+// races with a prior conflicting access when at least one of the two is
+// non-atomic, at least one is a write, and the prior access's epoch is not
+// covered by the current thread's happens-before clock.
+package race
+
+import (
+	"fmt"
+
+	"pctwm/internal/memmodel"
+	"pctwm/internal/vclock"
+)
+
+// Race describes one detected data race.
+type Race struct {
+	Loc     memmodel.Loc
+	LocName string
+	// Prior is the earlier conflicting access; Current is the access that
+	// exposed the race.
+	Prior   Access
+	Current Access
+}
+
+// Access identifies one side of a race.
+type Access struct {
+	TID       memmodel.ThreadID
+	Event     memmodel.EventID
+	Write     bool
+	NonAtomic bool
+}
+
+func (r Race) String() string {
+	return fmt.Sprintf("data race on %s: %s by t%d (e%d) vs %s by t%d (e%d)",
+		r.LocName, accKind(r.Prior), r.Prior.TID, r.Prior.Event,
+		accKind(r.Current), r.Current.TID, r.Current.Event)
+}
+
+func accKind(a Access) string {
+	k := "read"
+	if a.Write {
+		k = "write"
+	}
+	if a.NonAtomic {
+		return "non-atomic " + k
+	}
+	return "atomic " + k
+}
+
+// epoch is a single access by one thread at one clock value.
+type epoch struct {
+	clock     int32
+	event     memmodel.EventID
+	write     bool
+	nonAtomic bool
+}
+
+// locState keeps, per thread, the latest access of each class. Full
+// per-thread state (rather than FastTrack's adaptive epochs) is fine at
+// this scale and keeps both racing events reportable. Writes are tracked
+// separately per atomicity class: a later atomic write must not mask an
+// earlier still-unsynchronized non-atomic write (e.g. plain object
+// initialization followed by atomic field updates).
+type locState struct {
+	lastNAWrite     map[memmodel.ThreadID]epoch
+	lastAtomicWrite map[memmodel.ThreadID]epoch
+	lastNARead      map[memmodel.ThreadID]epoch
+	lastAtomicRead  map[memmodel.ThreadID]epoch
+}
+
+// Detector accumulates accesses and reports races.
+type Detector struct {
+	locs     map[memmodel.Loc]*locState
+	locName  func(memmodel.Loc) string
+	races    []Race
+	maxRaces int
+}
+
+// NewDetector returns a detector that names locations through locName and
+// stops recording after maxRaces races.
+func NewDetector(locName func(memmodel.Loc) string, maxRaces int) *Detector {
+	if maxRaces <= 0 {
+		maxRaces = 16
+	}
+	return &Detector{
+		locs:     make(map[memmodel.Loc]*locState),
+		locName:  locName,
+		maxRaces: maxRaces,
+	}
+}
+
+// Races returns the races detected so far.
+func (d *Detector) Races() []Race { return d.races }
+
+func (d *Detector) state(loc memmodel.Loc) *locState {
+	s := d.locs[loc]
+	if s == nil {
+		s = &locState{
+			lastNAWrite:     make(map[memmodel.ThreadID]epoch),
+			lastAtomicWrite: make(map[memmodel.ThreadID]epoch),
+			lastNARead:      make(map[memmodel.ThreadID]epoch),
+			lastAtomicRead:  make(map[memmodel.ThreadID]epoch),
+		}
+		d.locs[loc] = s
+	}
+	return s
+}
+
+// OnAccess records an access and returns any new races it exposes. vc is
+// the accessing thread's happens-before clock at the access (its own
+// component already ticked for this event).
+func (d *Detector) OnAccess(tid memmodel.ThreadID, ev memmodel.EventID, loc memmodel.Loc, write, nonAtomic bool, clock int32, vc vclock.VC) []Race {
+	s := d.state(loc)
+	cur := Access{TID: tid, Event: ev, Write: write, NonAtomic: nonAtomic}
+	var found []Race
+
+	check := func(prior map[memmodel.ThreadID]epoch, priorIsWrite bool) {
+		for ptid, pe := range prior {
+			if ptid == tid {
+				continue // same-thread accesses are po-ordered
+			}
+			// Conflict requires one write and one non-atomic access.
+			if !write && !priorIsWrite {
+				continue
+			}
+			if !nonAtomic && !pe.nonAtomic {
+				continue
+			}
+			if vclock.HappensBefore(int(ptid), pe.clock, vc) {
+				continue
+			}
+			found = append(found, Race{
+				Loc:     loc,
+				LocName: d.locName(loc),
+				Prior:   Access{TID: ptid, Event: pe.event, Write: priorIsWrite, NonAtomic: pe.nonAtomic},
+				Current: cur,
+			})
+		}
+	}
+
+	check(s.lastNAWrite, true)
+	check(s.lastAtomicWrite, true)
+	if write {
+		check(s.lastNARead, false)
+		check(s.lastAtomicRead, false)
+	}
+
+	e := epoch{clock: clock, event: ev, write: write, nonAtomic: nonAtomic}
+	switch {
+	case write && nonAtomic:
+		s.lastNAWrite[tid] = e
+	case write:
+		s.lastAtomicWrite[tid] = e
+	case nonAtomic:
+		s.lastNARead[tid] = e
+	default:
+		s.lastAtomicRead[tid] = e
+	}
+
+	if len(found) > 0 && len(d.races) < d.maxRaces {
+		room := d.maxRaces - len(d.races)
+		if len(found) < room {
+			room = len(found)
+		}
+		d.races = append(d.races, found[:room]...)
+	}
+	return found
+}

@@ -1,0 +1,66 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"pctwm/internal/benchprog"
+	"pctwm/internal/harness"
+)
+
+// Figure5CSV emits the Figure 5 series as CSV (benchmark, strategy,
+// rate, ci_low, ci_high) for plotting.
+func Figure5CSV(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	if _, err := fmt.Fprintln(w, "benchmark,strategy,rate,ci_low,ci_high"); err != nil {
+		return err
+	}
+	for _, b := range benchprog.All() {
+		c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0)
+		writeCSVRow(w, b.Name, "c11tester", c11)
+		var bestPCT, bestWM harness.TrialResult
+		for i := 0; i < 3; i++ {
+			d := maxInt(b.Depth+i, 1)
+			res, _ := harness.BenchTrials(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0)
+			if res.Rate() > bestPCT.Rate() || bestPCT.Runs == 0 {
+				bestPCT = res
+			}
+			wm, _ := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i))
+			if wm.Rate() > bestWM.Rate() || bestWM.Runs == 0 {
+				bestWM = wm
+			}
+		}
+		writeCSVRow(w, b.Name, "pct", bestPCT)
+		writeCSVRow(w, b.Name, "pctwm", bestWM)
+	}
+	return nil
+}
+
+// Figure6CSV emits the Figure 6 series as CSV (benchmark, writes,
+// strategy, rate) for plotting.
+func Figure6CSV(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	if _, err := fmt.Fprintln(w, "benchmark,writes,strategy,rate"); err != nil {
+		return err
+	}
+	for _, f := range fig6Benchmarks {
+		b, err := benchprog.ByName(f.name)
+		if err != nil {
+			return err
+		}
+		for _, n := range f.sweep {
+			c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n)
+			pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n)
+			wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n)
+			fmt.Fprintf(w, "%s,%d,c11tester,%.2f\n", b.Name, n, c11.Rate())
+			fmt.Fprintf(w, "%s,%d,pct,%.2f\n", b.Name, n, pct.Rate())
+			fmt.Fprintf(w, "%s,%d,pctwm,%.2f\n", b.Name, n, wm.Rate())
+		}
+	}
+	return nil
+}
+
+func writeCSVRow(w io.Writer, bench, strategy string, res harness.TrialResult) {
+	lo, hi := res.CI95()
+	fmt.Fprintf(w, "%s,%s,%.2f,%.2f,%.2f\n", bench, strategy, res.Rate(), lo, hi)
+}

@@ -1,0 +1,347 @@
+// Package report regenerates the paper's evaluation artifacts — Tables 1
+// through 4 and the data series behind Figures 5 and 6 — as aligned text
+// tables, using the harness over the benchmark and application suites.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+
+	"pctwm/internal/apps"
+	"pctwm/internal/benchprog"
+	"pctwm/internal/core"
+	"pctwm/internal/engine"
+	"pctwm/internal/enumerate"
+	"pctwm/internal/harness"
+	"pctwm/internal/litmus"
+)
+
+// Config controls the experiment sizes. The defaults match the paper
+// (1000 rounds for the tables, 500 for Figure 6, 10 runs for Table 4);
+// smaller values trade precision for speed.
+type Config struct {
+	// Runs is the number of rounds per configuration for Tables 2-3 and
+	// Figure 5.
+	Runs int
+	// Fig6Runs is the number of rounds per point in Figure 6.
+	Fig6Runs int
+	// PerfRuns is the number of timed runs per Table 4 cell.
+	PerfRuns int
+	// MaxH bounds the history-depth search (Tables 2-3 use h ∈ 1..4).
+	MaxH int
+	// Seed makes the whole report deterministic.
+	Seed int64
+}
+
+// Default returns the paper-sized configuration.
+func Default() Config {
+	return Config{Runs: 1000, Fig6Runs: 500, PerfRuns: 10, MaxH: 4, Seed: 20230325}
+}
+
+// Quick returns a configuration sized for smoke runs and tests.
+func Quick() Config {
+	return Config{Runs: 150, Fig6Runs: 100, PerfRuns: 3, MaxH: 2, Seed: 20230325}
+}
+
+func (c Config) normalized() Config {
+	d := Default()
+	if c.Runs <= 0 {
+		c.Runs = d.Runs
+	}
+	if c.Fig6Runs <= 0 {
+		c.Fig6Runs = d.Fig6Runs
+	}
+	if c.PerfRuns <= 0 {
+		c.PerfRuns = d.PerfRuns
+	}
+	if c.MaxH <= 0 {
+		c.MaxH = d.MaxH
+	}
+	return c
+}
+
+func newTab(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+}
+
+// Table1 prints the benchmark inventory: lines of code, measured event
+// count k, measured communication event count kcom, and the bug depth d.
+func Table1(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintln(w, "Table 1: Data structure benchmarks.")
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Benchmark\tLOC\tk\tkcom\td")
+	for _, b := range benchprog.All() {
+		est := harness.EstimateParams(b.Program(0), 50, cfg.Seed, b.Options())
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", b.Name, benchprog.LOC(b.Name), est.K, est.KCom, b.Depth)
+	}
+	return tw.Flush()
+}
+
+// Table2 prints PCTWM bug hitting rates for bug depths d, d+1, d+2, each
+// with the best history depth (paper Table 2).
+func Table2(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(w, "Table 2: PCTWM bug hitting rates (%%) over %d rounds for varying bug depth d.\n", cfg.Runs)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Benchmark\td\tRate(d)\tRate(d+1)\tRate(d+2)")
+	for _, b := range benchprog.All() {
+		cells := make([]string, 3)
+		for i := 0; i < 3; i++ {
+			res, h := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(17*i))
+			cells[i] = fmt.Sprintf("%.1f (h:%d)", res.Rate(), h)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n", b.Name, b.Depth, cells[0], cells[1], cells[2])
+	}
+	return tw.Flush()
+}
+
+// Table3 prints PCTWM bug hitting rates for history depths h = 1..4 at
+// each benchmark's Table-3 bug depth (paper Table 3).
+func Table3(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(w, "Table 3: PCTWM bug hitting rates (%%) over %d rounds for varying history depth h.\n", cfg.Runs)
+	tw := newTab(w)
+	header := "Benchmark\tkcom\td"
+	for h := 1; h <= cfg.MaxH; h++ {
+		header += fmt.Sprintf("\th:%d", h)
+	}
+	fmt.Fprintln(tw, header)
+	for _, b := range benchprog.All() {
+		var est harness.Estimate
+		row := make([]string, 0, cfg.MaxH)
+		for h := 1; h <= cfg.MaxH; h++ {
+			res, e := harness.BenchTrials(b, harness.PCTWMFactory(b.Table3Depth, h), cfg.Runs, cfg.Seed+int64(31*h), 0)
+			est = e
+			row = append(row, fmt.Sprintf("%.1f", res.Rate()))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%s\n", b.Name, est.KCom, b.Table3Depth, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// Table4 prints the application performance comparison (paper Table 4):
+// throughput for silo, elapsed time for mabain and iris, with the
+// relative standard deviation in parentheses, for single and multiple
+// core configurations.
+func Table4(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(w, "Table 4: Performance on testing real-world applications (mean of %d runs, RSD in parentheses).\n", cfg.PerfRuns)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "App\tMetric\tCores\tC11Tester\tPCTWM\tOverhead\tns/event (c11/pctwm)\tRaces (c11/pctwm)")
+	for _, a := range apps.All() {
+		for _, cores := range []int{1, 4} {
+			coreLabel := "single"
+			if cores > 1 {
+				coreLabel = "multiple"
+			}
+			c11 := harness.MeasureApp(a, harness.C11Tester(), cfg.PerfRuns, cfg.Seed, cores)
+			wm := harness.MeasureApp(a, harness.PCTWMFactory(2, 1), cfg.PerfRuns, cfg.Seed, cores)
+			var metric, c11Cell, wmCell, overhead string
+			switch a.Kind {
+			case apps.KindThroughput:
+				metric = "ops/sec"
+				c11Cell = fmt.Sprintf("%.0f (%.1f%%)", c11.Throughput, c11.RSDPercent)
+				wmCell = fmt.Sprintf("%.0f (%.1f%%)", wm.Throughput, wm.RSDPercent)
+				overhead = fmt.Sprintf("%+.1f%%", 100*(c11.Throughput-wm.Throughput)/c11.Throughput)
+			default:
+				metric = "time/ms"
+				c11Cell = fmt.Sprintf("%.2f (%.1f%%)", 1000*c11.MeanSeconds, c11.RSDPercent)
+				wmCell = fmt.Sprintf("%.2f (%.1f%%)", 1000*wm.MeanSeconds, wm.RSDPercent)
+				overhead = fmt.Sprintf("%+.1f%%", 100*(wm.MeanSeconds-c11.MeanSeconds)/c11.MeanSeconds)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%.0f/%.0f\t%d/%d\n",
+				a.Name, metric, coreLabel, c11Cell, wmCell, overhead,
+				c11.NsPerEvent, wm.NsPerEvent, c11.RacesDetected, wm.RacesDetected)
+		}
+	}
+	return tw.Flush()
+}
+
+// Figure5 prints the highest bug hitting rates observed per benchmark for
+// the three algorithms (paper Figure 5): C11Tester as-is, PCT and PCTWM
+// over bug depths d..d+2 (and h ∈ 1..MaxH for PCTWM).
+func Figure5(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(w, "Figure 5: Highest bug hitting rates (%%) observed over %d rounds.\n", cfg.Runs)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Benchmark\tC11Tester\tPCT\tPCTWM\tPCTWM 95% CI")
+	for _, b := range benchprog.All() {
+		c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0)
+		bestPCT := 0.0
+		var bestWM harness.TrialResult
+		for i := 0; i < 3; i++ {
+			d := b.Depth + i
+			if d < 1 {
+				d = 1
+			}
+			res, _ := harness.BenchTrials(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0)
+			if res.Rate() > bestPCT {
+				bestPCT = res.Rate()
+			}
+			wm, _ := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i))
+			if wm.Rate() > bestWM.Rate() || bestWM.Runs == 0 {
+				bestWM = wm
+			}
+		}
+		lo, hi := bestWM.CI95()
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%.1f\t[%.1f, %.1f]\n", b.Name, c11.Rate(), bestPCT, bestWM.Rate(), lo, hi)
+	}
+	return tw.Flush()
+}
+
+// fig6Benchmarks are the four benchmarks of Figure 6 with their inserted
+// relaxed-write sweeps (x axes as in the paper).
+var fig6Benchmarks = []struct {
+	name  string
+	sweep []int
+}{
+	{"mpmcqueue", []int{2, 4, 6, 8, 10}},
+	{"dekker", []int{0, 2, 4, 6, 8, 10}},
+	{"rwlock", []int{5, 10, 15, 20}},
+	{"cldeque", []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+}
+
+// Figure6 prints the change in bug hitting rates with an increasing number
+// of inserted relaxed writes (paper Figure 6): PCT's rate fluctuates as
+// the event count k grows while PCTWM stays stable.
+func Figure6(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(w, "Figure 6: Bug hitting rates (%%) in %d rounds vs. inserted relaxed writes.\n", cfg.Fig6Runs)
+	for _, f := range fig6Benchmarks {
+		b, err := benchprog.ByName(f.name)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n%s - inserting relaxed writes (d=%d)\n", b.Name, b.Depth)
+		tw := newTab(w)
+		fmt.Fprintln(tw, "Writes\tC11Tester\tPCT\tPCTWM")
+		for _, n := range f.sweep {
+			c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n)
+			pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n)
+			wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n)
+			fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\n", n, c11.Rate(), pct.Rate(), wm.Rate())
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Coverage measures outcome-space coverage on litmus programs: the
+// exhaustive explorer computes the full reachable outcome set, then each
+// strategy gets a fixed budget of rounds and is scored by how many
+// distinct outcomes it visits — the coverage view of randomized testing
+// the POS paper popularized (related work, §7).
+func Coverage(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(w, "Outcome coverage on litmus programs (distinct outcomes found in %d rounds / reachable).\n", cfg.Runs)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Program\treachable\tC11Tester\tPOS\tPCT\tPCTWM(d=2,h=2)")
+	targets := []string{"SB+rlx", "MP+rlx", "LB+rlx", "CoRR2", "IRIW+rlx"}
+	for _, name := range targets {
+		var lt *litmus.Test
+		for _, cand := range litmus.Suite() {
+			if cand.Name == name {
+				lt = cand
+				break
+			}
+		}
+		if lt == nil {
+			return fmt.Errorf("report: unknown litmus test %q", name)
+		}
+		full, res := enumerate.Outcomes(lt.Program, engine.Options{}, 500000, func(o *engine.Outcome) string {
+			return lt.Outcome(o.FinalValues)
+		})
+		total := fmt.Sprintf("%d", len(full))
+		if !res.Complete {
+			total += "+"
+		}
+		est := harness.EstimateParams(lt.Program, 10, cfg.Seed, engine.Options{})
+		row := []string{}
+		for _, factory := range []harness.StrategyFactory{
+			harness.C11Tester(), harness.POSFactory(),
+			harness.PCTFactory(2), harness.PCTWMFactory(2, 2),
+		} {
+			seen := map[string]bool{}
+			for i := 0; i < cfg.Runs; i++ {
+				o := engine.Run(lt.Program, factory(est), cfg.Seed+int64(i), engine.Options{})
+				seen[lt.Outcome(o.FinalValues)] = true
+			}
+			row = append(row, fmt.Sprintf("%d", len(seen)))
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\n", lt.Name, total, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// Baselines prints an extended comparison beyond the paper's Figure 5:
+// the four randomized algorithms side by side at each benchmark's design
+// depth, together with PCTWM's theoretical lower bound (§5.4).
+func Baselines(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(w, "Extended baselines: bug hitting rates (%%) over %d rounds at the design depth (h=1).\n", cfg.Runs)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Benchmark\td\tC11Tester\tPOS\tPCT\tPCTWM\tPCTWM bound")
+	for _, b := range benchprog.All() {
+		c11, est := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0)
+		pos, _ := harness.BenchTrials(b, harness.POSFactory(), cfg.Runs, cfg.Seed+1, 0)
+		pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Runs, cfg.Seed+2, 0)
+		wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Runs, cfg.Seed+3, 0)
+		bound := 100 * core.PCTWMBound(est.KCom, b.Depth, 1)
+		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
+			b.Name, b.Depth, c11.Rate(), pos.Rate(), pct.Rate(), wm.Rate(), bound)
+	}
+	return tw.Flush()
+}
+
+// Ablations prints the contribution of each PCTWM ingredient (history
+// bounding, sink delaying, thread-local views) to the bug hitting rate at
+// every benchmark's design depth — the ablation study for the design
+// choices of §5.2.
+func Ablations(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	fmt.Fprintf(w, "Ablation: PCTWM ingredient contributions (%%), %d rounds, h=1, d = design depth.\n", cfg.Runs)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Benchmark\td\tfull\tno-history\tno-delay\tno-local-views")
+	modes := []core.Ablation{core.AblateNone, core.AblateHistory, core.AblateDelay, core.AblateLocalViews}
+	for _, b := range benchprog.All() {
+		row := make([]string, 0, len(modes))
+		for i, m := range modes {
+			m := m
+			factory := func(est harness.Estimate) engine.Strategy {
+				return core.NewAblatedPCTWM(b.Depth, 1, est.KCom, m)
+			}
+			res, _ := harness.BenchTrials(b, factory, cfg.Runs, cfg.Seed+int64(41*i), 0)
+			row = append(row, fmt.Sprintf("%.1f", res.Rate()))
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%s\n", b.Name, b.Depth, strings.Join(row, "\t"))
+	}
+	return tw.Flush()
+}
+
+// All renders every table and figure in order.
+func All(w io.Writer, cfg Config) error {
+	sections := []func(io.Writer, Config) error{
+		Table1, Table2, Table3, Table4, Figure5, Figure6, Ablations, Baselines, Coverage,
+	}
+	for i, f := range sections {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		if err := f(w, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,75 @@
+// Package stats provides the small statistical toolbox the evaluation
+// uses: Wilson score confidence intervals for bug hitting rates and basic
+// sample aggregates.
+package stats
+
+import "math"
+
+// Wilson returns the Wilson score interval (low, high), in percent, for
+// observing hits successes in n trials at the given z (1.96 ≈ 95%
+// confidence). It is well-behaved for rates near 0% and 100%, unlike the
+// normal approximation.
+func Wilson(hits, n int, z float64) (low, high float64) {
+	if n == 0 {
+		return 0, 100
+	}
+	p := float64(hits) / float64(n)
+	nn := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nn
+	center := p + z2/(2*nn)
+	margin := z * math.Sqrt(p*(1-p)/nn+z2/(4*nn*nn))
+	low = 100 * (center - margin) / denom
+	high = 100 * (center + margin) / denom
+	if low < 0 {
+		low = 0
+	}
+	if high > 100 {
+		high = 100
+	}
+	return low, high
+}
+
+// Wilson95 is Wilson at 95% confidence.
+func Wilson95(hits, n int) (low, high float64) { return Wilson(hits, n, 1.96) }
+
+// Mean returns the arithmetic mean of the samples (0 for none).
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	return sum / float64(len(samples))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(samples []float64) float64 {
+	if len(samples) < 2 {
+		return 0
+	}
+	m := Mean(samples)
+	var sq float64
+	for _, s := range samples {
+		sq += (s - m) * (s - m)
+	}
+	return math.Sqrt(sq / float64(len(samples)))
+}
+
+// GeoMean returns the geometric mean of positive samples (used for
+// normalized cross-benchmark summaries).
+func GeoMean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, s := range samples {
+		if s <= 0 {
+			return 0
+		}
+		logSum += math.Log(s)
+	}
+	return math.Exp(logSum / float64(len(samples)))
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilsonBasics(t *testing.T) {
+	low, high := Wilson95(50, 100)
+	if low >= 50 || high <= 50 {
+		t.Fatalf("interval [%v, %v] should bracket 50%%", low, high)
+	}
+	if high-low > 25 {
+		t.Fatalf("interval too wide for n=100: [%v, %v]", low, high)
+	}
+	// Degenerate cases stay in range and never NaN.
+	for _, c := range [][2]int{{0, 10}, {10, 10}, {0, 0}} {
+		lo, hi := Wilson95(c[0], c[1])
+		if math.IsNaN(lo) || math.IsNaN(hi) || lo < 0 || hi > 100 || lo > hi {
+			t.Fatalf("Wilson(%d,%d) = [%v, %v]", c[0], c[1], lo, hi)
+		}
+	}
+}
+
+// TestWilsonProperties: property-based sanity — the interval contains the
+// point estimate and shrinks with n.
+func TestWilsonProperties(t *testing.T) {
+	prop := func(hitsRaw, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		hits := int(hitsRaw) % (n + 1)
+		lo, hi := Wilson95(hits, n)
+		p := 100 * float64(hits) / float64(n)
+		if lo > p+1e-9 || hi < p-1e-9 {
+			return false
+		}
+		lo10, hi10 := Wilson95(hits*10, n*10)
+		return hi10-lo10 <= hi-lo+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("degenerate aggregates")
+	}
+	if m := Mean([]float64{2, 4, 6}); m != 4 {
+		t.Fatalf("mean %v", m)
+	}
+	if sd := StdDev([]float64{4, 6}); math.Abs(sd-1) > 1e-9 {
+		t.Fatalf("stddev %v", sd)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 100}); math.Abs(g-10) > 1e-9 {
+		t.Fatalf("geomean %v", g)
+	}
+	if GeoMean([]float64{1, 0}) != 0 || GeoMean(nil) != 0 {
+		t.Fatal("degenerate geomean")
+	}
+}

@@ -1,0 +1,62 @@
+package tso
+
+// scriptedPolicy drives exhaustive exploration: it follows a decision
+// prefix and records arities, exactly like internal/enumerate does for
+// the C11 engine.
+type scriptedPolicy struct {
+	script []int
+	pos    int
+	arity  []int
+}
+
+func (s *scriptedPolicy) Name() string { return "tso-scripted" }
+func (s *scriptedPolicy) Begin(int)    {}
+func (s *scriptedPolicy) Choose(actions []Action) int {
+	s.arity = append(s.arity, len(actions))
+	choice := 0
+	if s.pos < len(s.script) {
+		choice = s.script[s.pos]
+	}
+	s.pos++
+	if choice >= len(actions) {
+		choice = len(actions) - 1
+	}
+	return choice
+}
+
+// ExploreResult summarizes an exhaustive TSO exploration.
+type ExploreResult struct {
+	Runs     int
+	Complete bool
+}
+
+// Explore enumerates every action sequence of the program (up to limit
+// runs), calling visit with each outcome.
+func Explore(p *Program, limit int, visit func(*Outcome)) ExploreResult {
+	var res ExploreResult
+	script := []int{}
+	for {
+		if limit > 0 && res.Runs >= limit {
+			return res
+		}
+		s := &scriptedPolicy{script: script}
+		o := Run(p, s, 0)
+		res.Runs++
+		visit(o)
+
+		next := make([]int, len(s.arity))
+		copy(next, script)
+		i := len(s.arity) - 1
+		for i >= 0 {
+			if next[i]+1 < s.arity[i] {
+				break
+			}
+			i--
+		}
+		if i < 0 {
+			res.Complete = true
+			return res
+		}
+		script = append(next[:i:i], next[i]+1)
+	}
+}

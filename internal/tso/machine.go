@@ -1,0 +1,342 @@
+// Package tso demonstrates the paper's claim that PCTWM is memory-model
+// agnostic (§5): it implements a second weak memory model — x86-TSO with
+// per-thread FIFO store buffers (Owens, Sarkar, Sewell 2009) — and adapts
+// the PCTWM sampling idea to it. Under TSO the only weak behaviour is
+// delayed store-buffer drains, so a communication relation is a load
+// observing another thread's drained store; PCTWM-TSO keeps drains as
+// late as possible and delays d sampled loads so that exactly they can
+// observe remote values.
+//
+// The package has its own small machine (threads post operations and
+// park, a policy chooses among thread steps and buffer drains), its own
+// litmus checks (SB allowed; MP, LB and IRIW forbidden — TSO is
+// multi-copy atomic), and a Dekker demonstration: the classic mutual
+// exclusion algorithm fails on TSO without fences, and PCTWM-TSO with
+// d = 0 produces the failing execution every time.
+package tso
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Loc identifies a shared location (dense indices from Program.Loc).
+type Loc int
+
+// Value is a stored value.
+type Value int64
+
+// ThreadID identifies a thread (1-based).
+type ThreadID int
+
+// Program declares locations and threads for the TSO machine.
+type Program struct {
+	name    string
+	locs    []locDecl
+	byName  map[string]Loc
+	threads []func(*Thread)
+}
+
+type locDecl struct {
+	name string
+	init Value
+}
+
+// NewProgram creates an empty TSO program.
+func NewProgram(name string) *Program {
+	return &Program{name: name, byName: make(map[string]Loc)}
+}
+
+// Loc declares a shared location.
+func (p *Program) Loc(name string, init Value) Loc {
+	if _, dup := p.byName[name]; dup {
+		panic(fmt.Sprintf("tso: duplicate location %q", name))
+	}
+	l := Loc(len(p.locs))
+	p.locs = append(p.locs, locDecl{name, init})
+	p.byName[name] = l
+	return l
+}
+
+// AddThread registers a thread body.
+func (p *Program) AddThread(fn func(*Thread)) { p.threads = append(p.threads, fn) }
+
+// opCode for the TSO machine.
+type opCode uint8
+
+const (
+	opLoad opCode = iota
+	opStore
+	opMFence
+	opRMWAdd
+	opAssert
+)
+
+type request struct {
+	code      opCode
+	loc       Loc
+	val       Value
+	assertOK  bool
+	assertMsg string
+}
+
+type response struct{ val Value }
+
+// Thread is a TSO thread handle.
+type Thread struct {
+	m      *machine
+	id     ThreadID
+	resume chan response
+	req    request
+	done   bool
+	// store buffer: FIFO of pending stores.
+	buffer []bufEntry
+	// index of the next operation (event identity for policies).
+	opIndex int
+}
+
+type bufEntry struct {
+	loc Loc
+	val Value
+}
+
+// ID returns the thread id.
+func (t *Thread) ID() ThreadID { return t.id }
+
+func (t *Thread) post(r request) response {
+	t.req = r
+	select {
+	case t.m.parkCh <- t:
+	case <-t.m.killed:
+		panic(tsoKilled{})
+	}
+	select {
+	case res := <-t.resume:
+		return res
+	case <-t.m.killed:
+		panic(tsoKilled{})
+	}
+}
+
+type tsoKilled struct{}
+
+// Load reads loc: the youngest own buffered store wins (store
+// forwarding), otherwise shared memory.
+func (t *Thread) Load(loc Loc) Value { return t.post(request{code: opLoad, loc: loc}).val }
+
+// Store buffers a write to loc.
+func (t *Thread) Store(loc Loc, v Value) { t.post(request{code: opStore, loc: loc, val: v}) }
+
+// MFence drains this thread's store buffer.
+func (t *Thread) MFence() { t.post(request{code: opMFence}) }
+
+// FetchAdd drains the buffer and atomically adds to memory, returning the
+// previous value (x86 LOCK-prefixed instruction).
+func (t *Thread) FetchAdd(loc Loc, delta Value) Value {
+	return t.post(request{code: opRMWAdd, loc: loc, val: delta}).val
+}
+
+// Assert records a bug when cond is false.
+func (t *Thread) Assert(cond bool, format string, args ...any) {
+	msg := ""
+	if !cond {
+		msg = fmt.Sprintf(format, args...)
+	}
+	t.post(request{code: opAssert, assertOK: cond, assertMsg: msg})
+}
+
+// ActionKind distinguishes machine actions.
+type ActionKind uint8
+
+const (
+	// ActStep executes the thread's pending operation.
+	ActStep ActionKind = iota
+	// ActDrain flushes the oldest entry of the thread's store buffer.
+	ActDrain
+)
+
+// Action is one schedulable machine transition.
+type Action struct {
+	Kind ActionKind
+	TID  ThreadID
+	// For ActStep: the pending op's code and identity.
+	Op      opCode
+	OpIndex int
+	// IsLoad reports whether the pending step is a load — the potential
+	// communication sinks of PCTWM-TSO.
+	IsLoad bool
+}
+
+// Policy decides which enabled action runs next.
+type Policy interface {
+	Name() string
+	Begin(numThreads int)
+	// Choose picks an index into actions (never empty).
+	Choose(actions []Action) int
+}
+
+// Outcome of one TSO execution.
+type Outcome struct {
+	BugHit      bool
+	BugMessages []string
+	FinalValues map[string]Value
+	Steps       int
+	// Loads counts executed load operations (the kcom analogue).
+	Loads   int
+	Aborted bool
+}
+
+// machine is one execution's state.
+type machine struct {
+	prog    *Program
+	memory  []Value
+	threads []*Thread
+	parkCh  chan *Thread
+	doneCh  chan ThreadID
+	killed  chan struct{}
+	wg      sync.WaitGroup
+	outcome Outcome
+}
+
+// Run executes the program under the policy. maxSteps guards against
+// divergence (0 = default 100000).
+func Run(p *Program, policy Policy, maxSteps int) *Outcome {
+	if maxSteps <= 0 {
+		maxSteps = 100000
+	}
+	m := &machine{
+		prog:   p,
+		memory: make([]Value, len(p.locs)),
+		parkCh: make(chan *Thread),
+		doneCh: make(chan ThreadID),
+		killed: make(chan struct{}),
+	}
+	for i, d := range p.locs {
+		m.memory[i] = d.init
+	}
+	policy.Begin(len(p.threads))
+	for i, fn := range p.threads {
+		t := &Thread{m: m, id: ThreadID(i + 1), resume: make(chan response)}
+		m.threads = append(m.threads, t)
+		m.start(t, fn)
+	}
+	m.loop(policy, maxSteps)
+	close(m.killed)
+	m.wg.Wait()
+	m.outcome.FinalValues = make(map[string]Value, len(p.locs))
+	for i, d := range p.locs {
+		m.outcome.FinalValues[d.name] = m.memory[i]
+	}
+	return &m.outcome
+}
+
+func (m *machine) start(t *Thread, fn func(*Thread)) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(tsoKilled); ok {
+					return
+				}
+				panic(r)
+			}
+		}()
+		fn(t)
+		select {
+		case m.doneCh <- t.id:
+		case <-m.killed:
+		}
+	}()
+	m.waitForPark(t)
+}
+
+func (m *machine) waitForPark(t *Thread) {
+	select {
+	case parked := <-m.parkCh:
+		if parked != t {
+			panic("tso: serialization violated")
+		}
+	case tid := <-m.doneCh:
+		if tid != t.id {
+			panic("tso: serialization violated")
+		}
+		t.done = true
+	}
+}
+
+func (m *machine) actions() []Action {
+	var acts []Action
+	for _, t := range m.threads {
+		if !t.done {
+			acts = append(acts, Action{
+				Kind: ActStep, TID: t.id,
+				Op: t.req.code, OpIndex: t.opIndex,
+				IsLoad: t.req.code == opLoad,
+			})
+		}
+		if len(t.buffer) > 0 {
+			acts = append(acts, Action{Kind: ActDrain, TID: t.id})
+		}
+	}
+	return acts
+}
+
+func (m *machine) loop(policy Policy, maxSteps int) {
+	for {
+		acts := m.actions()
+		if len(acts) == 0 {
+			return
+		}
+		if m.outcome.Steps >= maxSteps {
+			m.outcome.Aborted = true
+			return
+		}
+		m.outcome.Steps++
+		a := acts[policy.Choose(acts)]
+		t := m.threads[a.TID-1]
+		if a.Kind == ActDrain {
+			e := t.buffer[0]
+			t.buffer = t.buffer[1:]
+			m.memory[e.loc] = e.val
+			continue
+		}
+		m.execute(t)
+	}
+}
+
+func (m *machine) execute(t *Thread) {
+	req := t.req
+	t.opIndex++
+	var res response
+	switch req.code {
+	case opLoad:
+		m.outcome.Loads++
+		res.val = m.memory[req.loc]
+		// Store forwarding: the youngest buffered store to loc wins.
+		for i := len(t.buffer) - 1; i >= 0; i-- {
+			if t.buffer[i].loc == req.loc {
+				res.val = t.buffer[i].val
+				break
+			}
+		}
+	case opStore:
+		t.buffer = append(t.buffer, bufEntry{req.loc, req.val})
+	case opMFence, opRMWAdd:
+		for _, e := range t.buffer {
+			m.memory[e.loc] = e.val
+		}
+		t.buffer = t.buffer[:0]
+		if req.code == opRMWAdd {
+			res.val = m.memory[req.loc]
+			m.memory[req.loc] = res.val + req.val
+		}
+	case opAssert:
+		if !req.assertOK {
+			m.outcome.BugHit = true
+			m.outcome.BugMessages = append(m.outcome.BugMessages, req.assertMsg)
+		}
+	}
+	t.resume <- res
+	m.waitForPark(t)
+}

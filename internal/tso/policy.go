@@ -1,0 +1,126 @@
+package tso
+
+import "math/rand"
+
+// RandomPolicy is the naive random baseline on the TSO machine: every
+// enabled action (thread step or buffer drain) is chosen uniformly.
+type RandomPolicy struct {
+	rng *rand.Rand
+}
+
+// NewRandomPolicy returns a uniform policy seeded by seed.
+func NewRandomPolicy(seed int64) *RandomPolicy {
+	return &RandomPolicy{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *RandomPolicy) Name() string { return "tso-random" }
+
+// Begin implements Policy.
+func (p *RandomPolicy) Begin(int) {}
+
+// Choose implements Policy.
+func (p *RandomPolicy) Choose(actions []Action) int { return p.rng.Intn(len(actions)) }
+
+// PCTWMPolicy adapts PCTWM to TSO (the paper's §5 model-agnosticism: the
+// algorithm needs only a notion of communication event and of thread-local
+// behaviour). Under TSO the weak behaviour is the delayed drain of store
+// buffers, and a communication relation is a load observing another
+// thread's drained store:
+//
+//   - drains are deferred as long as any thread can step, so by default
+//     loads observe only their own buffered stores and the initial memory
+//     (the thread-local view — readLocal);
+//   - threads run serially in a random priority order;
+//   - the d1…dd-th loads encountered (sampled from [1, kloads]) are
+//     delayed by demoting their threads; when only delayed threads remain,
+//     buffers are drained first, so exactly the sampled loads observe the
+//     drained remote stores (readGlobal).
+//
+// TSO has a single memory copy, so a load has no choice of stale values
+// and the history depth h degenerates to 1.
+type PCTWMPolicy struct {
+	// Depth is the bug depth d.
+	Depth int
+	// Loads is the estimated number of load events (the kcom analogue).
+	Loads int
+
+	rng      *rand.Rand
+	prio     map[ThreadID]int
+	sampled  map[int]int
+	counted  map[int64]bool
+	loadSeen int
+}
+
+// NewPCTWMPolicy returns PCTWM-TSO with bug depth d and kloads estimated
+// load events, seeded by seed.
+func NewPCTWMPolicy(d, kloads int, seed int64) *PCTWMPolicy {
+	if d < 0 {
+		d = 0
+	}
+	if kloads < 1 {
+		kloads = 1
+	}
+	return &PCTWMPolicy{Depth: d, Loads: kloads, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *PCTWMPolicy) Name() string { return "tso-pctwm" }
+
+// Begin implements Policy.
+func (p *PCTWMPolicy) Begin(numThreads int) {
+	p.prio = make(map[ThreadID]int, numThreads)
+	p.counted = make(map[int64]bool)
+	p.loadSeen = 0
+	p.sampled = make(map[int]int, p.Depth)
+	perm := p.rng.Perm(p.Loads)
+	for k := 0; k < p.Depth && k < len(perm); k++ {
+		p.sampled[perm[k]+1] = k + 1
+	}
+	for i := 1; i <= numThreads; i++ {
+		p.prio[ThreadID(i)] = p.Depth + 1 + p.rng.Intn(numThreads*2)
+	}
+}
+
+func key(tid ThreadID, opIndex int) int64 { return int64(tid)<<32 | int64(opIndex) }
+
+// Choose implements Policy.
+func (p *PCTWMPolicy) Choose(actions []Action) int {
+	for {
+		best := -1
+		bestPrio := 0
+		firstDrain := -1
+		for i, a := range actions {
+			if a.Kind == ActDrain {
+				if firstDrain < 0 {
+					firstDrain = i
+				}
+				continue
+			}
+			if pr := p.prio[a.TID]; best < 0 || pr > bestPrio {
+				best, bestPrio = i, pr
+			}
+		}
+		if best < 0 {
+			// Only drains remain (all threads finished): flush buffers.
+			return firstDrain
+		}
+		a := actions[best]
+		if a.IsLoad && !p.counted[key(a.TID, a.OpIndex)] {
+			p.counted[key(a.TID, a.OpIndex)] = true
+			p.loadSeen++
+			if k, hit := p.sampled[p.loadSeen]; hit {
+				// Delay this load: demote its thread into reserved slot
+				// d−k+1 and re-pick.
+				p.prio[a.TID] = p.Depth - k + 1
+				continue
+			}
+		}
+		if bestPrio <= p.Depth && firstDrain >= 0 {
+			// The chosen thread is a delayed sink: its load must observe
+			// the drained memory, so flush pending buffers first.
+			return firstDrain
+		}
+		return best
+	}
+}

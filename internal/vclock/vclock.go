@@ -1,0 +1,113 @@
+// Package vclock implements vector clocks over thread identifiers. The
+// engine threads them along every synchronizes-with edge so that
+// happens-before between arbitrary events is decidable — the basis of both
+// the data-race detector and the recorded execution graphs.
+package vclock
+
+import (
+	"fmt"
+	"strings"
+)
+
+// VC is a vector clock: per-thread logical times. The zero value is the
+// empty clock (all components zero). VCs are small dense slices indexed by
+// thread id; executions in this repository have tens of threads at most.
+type VC struct {
+	c []int32
+}
+
+// New returns an empty clock.
+func New() VC { return VC{} }
+
+// Get returns the component for thread t.
+func (v VC) Get(t int) int32 {
+	if t < len(v.c) {
+		return v.c[t]
+	}
+	return 0
+}
+
+func (v *VC) grow(t int) {
+	if t < len(v.c) {
+		return
+	}
+	n := make([]int32, t+1)
+	copy(n, v.c)
+	v.c = n
+}
+
+// Set assigns component t to value n.
+func (v *VC) Set(t int, n int32) {
+	v.grow(t)
+	v.c[t] = n
+}
+
+// Tick increments component t and returns the new value.
+func (v *VC) Tick(t int) int32 {
+	v.grow(t)
+	v.c[t]++
+	return v.c[t]
+}
+
+// Join merges other into v pointwise (least upper bound).
+func (v *VC) Join(other VC) {
+	if len(other.c) > len(v.c) {
+		v.grow(len(other.c) - 1)
+	}
+	for i, n := range other.c {
+		if n > v.c[i] {
+			v.c[i] = n
+		}
+	}
+}
+
+// Clone returns an independent copy.
+func (v VC) Clone() VC {
+	if len(v.c) == 0 {
+		return VC{}
+	}
+	c := make([]int32, len(v.c))
+	copy(c, v.c)
+	return VC{c: c}
+}
+
+// Leq reports v ⊑ other pointwise: v happens-before-or-equals other.
+func (v VC) Leq(other VC) bool {
+	for i, n := range v.c {
+		if n == 0 {
+			continue
+		}
+		if i >= len(other.c) || n > other.c[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HappensBefore reports whether the epoch (t, n) — event n of thread t —
+// is ordered before the point described by clock other.
+func HappensBefore(t int, n int32, other VC) bool {
+	return n <= other.Get(t)
+}
+
+// Concurrent reports whether neither clock is ⊑ the other.
+func (v VC) Concurrent(other VC) bool {
+	return !v.Leq(other) && !other.Leq(v)
+}
+
+// Len returns the number of tracked components.
+func (v VC) Len() int { return len(v.c) }
+
+// String renders the clock as ⟨c0,c1,…⟩.
+func (v VC) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, n := range v.c {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", n)
+	}
+	b.WriteByte('>')
+	return b.String()
+}

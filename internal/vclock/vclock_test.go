@@ -1,0 +1,120 @@
+package vclock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	var v VC
+	if v.Get(3) != 0 || v.Len() != 0 {
+		t.Fatal("zero clock not empty")
+	}
+	if n := v.Tick(2); n != 1 {
+		t.Fatalf("Tick = %d, want 1", n)
+	}
+	v.Set(0, 5)
+	if v.Get(0) != 5 || v.Get(2) != 1 {
+		t.Fatalf("components wrong: %s", v)
+	}
+	c := v.Clone()
+	c.Tick(0)
+	if v.Get(0) != 5 {
+		t.Fatal("Clone aliases original")
+	}
+	if s := v.String(); s != "<5,0,1>" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestLeqAndConcurrent(t *testing.T) {
+	var a, b VC
+	a.Set(0, 1)
+	b.Set(1, 1)
+	if a.Leq(b) || b.Leq(a) {
+		t.Fatal("disjoint clocks should not be ordered")
+	}
+	if !a.Concurrent(b) {
+		t.Fatal("disjoint clocks should be concurrent")
+	}
+	j := a.Clone()
+	j.Join(b)
+	if !a.Leq(j) || !b.Leq(j) || j.Concurrent(a) {
+		t.Fatal("join not an upper bound")
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	var v VC
+	v.Set(2, 7)
+	if !HappensBefore(2, 7, v) || !HappensBefore(2, 3, v) {
+		t.Fatal("covered epoch should happen-before")
+	}
+	if HappensBefore(2, 8, v) || HappensBefore(1, 1, v) {
+		t.Fatal("uncovered epoch should not happen-before")
+	}
+}
+
+func randomVC(r *rand.Rand) VC {
+	var v VC
+	for i, n := 0, r.Intn(5); i < n; i++ {
+		v.Set(r.Intn(4), int32(r.Intn(10)))
+	}
+	return v
+}
+
+// TestJoinLattice property-checks the semilattice laws of Join.
+func TestJoinLattice(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randomVC(r), randomVC(r), randomVC(r)
+
+		ab := a.Clone()
+		ab.Join(b)
+		ba := b.Clone()
+		ba.Join(a)
+		if !ab.Leq(ba) || !ba.Leq(ab) {
+			return false // commutativity
+		}
+		abc1 := ab.Clone()
+		abc1.Join(c)
+		bc := b.Clone()
+		bc.Join(c)
+		abc2 := a.Clone()
+		abc2.Join(bc)
+		if !abc1.Leq(abc2) || !abc2.Leq(abc1) {
+			return false // associativity
+		}
+		aa := a.Clone()
+		aa.Join(a)
+		return aa.Leq(a) && a.Leq(aa) && a.Leq(ab) && b.Leq(ab)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTickMonotone: ticking strictly increases the own component and
+// leaves others alone.
+func TestTickMonotone(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomVC(r)
+		i := r.Intn(4)
+		before := v.Clone()
+		v.Tick(i)
+		if v.Get(i) != before.Get(i)+1 {
+			return false
+		}
+		for j := 0; j < 4; j++ {
+			if j != i && v.Get(j) != before.Get(j) {
+				return false
+			}
+		}
+		return before.Leq(v) && !v.Leq(before)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
