@@ -88,6 +88,7 @@ func benchStrategy(b *testing.B, newStrategy func(est harness.Estimate) engine.S
 	prog := bench.Program(0)
 	opts := bench.Options()
 	est := harness.EstimateParams(prog, 5, 1, opts)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		engine.Run(prog, newStrategy(est), int64(i), opts)
@@ -104,6 +105,47 @@ func BenchmarkEnginePCT(b *testing.B) {
 
 func BenchmarkEnginePCTWM(b *testing.B) {
 	benchStrategy(b, func(est harness.Estimate) engine.Strategy { return core.NewPCTWM(2, 1, est.KCom) })
+}
+
+// BenchmarkTrialLoop measures the steady-state trial loop — the quantity
+// the Runner refactor optimizes: one pooled Runner, one strategy value
+// (Begin resets per run), a new seed each round. Compare against
+// BenchmarkEnginePCTWM (one-shot engine.Run per trial) for the pooling
+// win; historical BENCH_engine.json records both.
+func BenchmarkTrialLoop(b *testing.B) {
+	bench, err := benchprog.ByName("rwlock")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := bench.Program(0)
+	opts := bench.Options()
+	est := harness.EstimateParams(prog, 5, 1, opts)
+	r := engine.NewRunner(prog, opts)
+	strat := core.NewPCTWM(2, 1, est.KCom)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(strat, int64(i))
+	}
+}
+
+// BenchmarkRunnerReuse is BenchmarkTrialLoop with a fresh strategy per
+// round — isolating the Runner's pooling from strategy reuse (the
+// difference is the strategy's own per-run allocation).
+func BenchmarkRunnerReuse(b *testing.B) {
+	bench, err := benchprog.ByName("rwlock")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := bench.Program(0)
+	opts := bench.Options()
+	est := harness.EstimateParams(prog, 5, 1, opts)
+	r := engine.NewRunner(prog, opts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Run(core.NewPCTWM(2, 1, est.KCom), int64(i))
+	}
 }
 
 // BenchmarkAblations regenerates the ablation study (PCTWM ingredient

@@ -4,10 +4,18 @@
 //
 // Usage:
 //
-//	pctwm-bench [-runs N] [-s SEED] [-parallel] [-d D] [-y H]
+//	pctwm-bench [-runs N] [-s SEED] [-workers N] [-d D] [-y H] [-json]
+//
+// -workers spreads each cell's rounds over N worker goroutines (0 =
+// GOMAXPROCS, 1 = serial; results are identical for every worker count).
+// -json switches to the machine-readable engine performance snapshot:
+// instead of the hit-rate matrix, it emits one steady-state measurement
+// (ns/run, runs/sec, allocs/run) per benchmark × strategy on stdout — the
+// format committed as BENCH_engine.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +23,7 @@ import (
 	"time"
 
 	"pctwm/internal/benchprog"
+	"pctwm/internal/core"
 	"pctwm/internal/engine"
 	"pctwm/internal/harness"
 )
@@ -23,21 +32,39 @@ func main() {
 	var (
 		runs     = flag.Int("runs", 500, "rounds per strategy per benchmark")
 		seed     = flag.Int64("s", 1, "base random seed")
-		parallel = flag.Bool("parallel", false, "spread the rounds over all CPUs")
+		workers  = flag.Int("workers", 1, "worker goroutines per cell (0 = GOMAXPROCS, 1 = serial)")
 		depth    = flag.Int("d", -1, "bug depth override (-1 = each benchmark's design depth)")
 		history  = flag.Int("y", 1, "history depth for PCTWM")
+		jsonOut  = flag.Bool("json", false, "emit the engine performance snapshot as JSON instead of the hit-rate matrix")
+		benchSel = flag.String("bench", "", "comma-free single benchmark name (default: all)")
 	)
 	flag.Parse()
 
-	type column struct {
-		name    string
-		factory func(b *benchprog.Benchmark) harness.StrategyFactory
-	}
 	dFor := func(b *benchprog.Benchmark) int {
 		if *depth >= 0 {
 			return *depth
 		}
 		return b.Depth
+	}
+
+	benches := benchprog.All()
+	if *benchSel != "" {
+		b, err := benchprog.ByName(*benchSel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pctwm-bench: %v\n", err)
+			os.Exit(2)
+		}
+		benches = []*benchprog.Benchmark{b}
+	}
+
+	if *jsonOut {
+		emitSnapshot(benches, dFor, *runs, *seed, *history)
+		return
+	}
+
+	type column struct {
+		name    string
+		factory func(b *benchprog.Benchmark) harness.StrategyFactory
 	}
 	cols := []column{
 		{"c11tester", func(*benchprog.Benchmark) harness.StrategyFactory { return harness.C11Tester() }},
@@ -61,7 +88,7 @@ func main() {
 		header += "\t" + c.name
 	}
 	fmt.Fprintln(tw, header)
-	for _, b := range benchprog.All() {
+	for _, b := range benches {
 		prog := b.Program(0)
 		opts := b.Options()
 		est := harness.EstimateParams(prog, 20, *seed^0x5eed, opts)
@@ -69,12 +96,7 @@ func main() {
 		for i, c := range cols {
 			factory := c.factory(b)
 			newStrategy := func() engine.Strategy { return factory(est) }
-			var res harness.TrialResult
-			if *parallel {
-				res = harness.RunTrialsParallel(prog, b.Detect, newStrategy, *runs, *seed+int64(10*i), opts, 0)
-			} else {
-				res = harness.RunTrials(prog, b.Detect, newStrategy, *runs, *seed+int64(10*i), opts)
-			}
+			res := harness.RunTrialsPooled(prog, b.Detect, newStrategy, *runs, *seed+int64(10*i), opts, *workers)
 			lo, hi := res.CI95()
 			row += fmt.Sprintf("\t%.1f [%.0f,%.0f]", res.Rate(), lo, hi)
 		}
@@ -82,4 +104,28 @@ func main() {
 	}
 	tw.Flush()
 	fmt.Printf("(%d rounds per cell, %v total)\n", *runs, time.Since(start).Round(time.Millisecond))
+}
+
+// emitSnapshot measures the steady-state trial loop per benchmark for the
+// random baseline and PCTWM and writes the JSON array to stdout.
+func emitSnapshot(benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int, runs int, seed int64, history int) {
+	var snaps []harness.EngineSnapshot
+	for _, b := range benches {
+		prog := b.Program(0)
+		opts := b.Options()
+		est := harness.EstimateParams(prog, 20, seed^0x5eed, opts)
+		strategies := []engine.Strategy{
+			core.NewRandom(),
+			core.NewPCTWM(dFor(b), history, est.KCom),
+		}
+		for _, s := range strategies {
+			snaps = append(snaps, harness.MeasureEngine(b.Name, prog, s, runs, seed, opts))
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(snaps); err != nil {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pctwm-experiments [-quick] [-runs N] [-fig6runs N] [-perfruns N] [-seed S] [-section all|table1|table2|table3|table4|figure5|figure6]
+//	pctwm-experiments [-quick] [-runs N] [-fig6runs N] [-perfruns N] [-seed S] [-workers N] [-section all|table1|table2|table3|table4|figure5|figure6]
 //
 // The default configuration uses the paper's experiment sizes (1000
 // rounds per table configuration, 500 per Figure 6 point, 10 timed runs
@@ -26,6 +26,7 @@ func main() {
 		fig6runs = flag.Int("fig6runs", 0, "rounds per figure 6 point (0 = default)")
 		perfruns = flag.Int("perfruns", 0, "timed runs per table 4 cell (0 = default)")
 		seed     = flag.Int64("seed", 0, "base random seed (0 = default)")
+		workers  = flag.Int("workers", 1, "worker goroutines per trial batch (0 = GOMAXPROCS, 1 = serial); results are identical for every worker count")
 		section  = flag.String("section", "all", "which artifact to regenerate: all, table1..table4, figure5, figure6, ablation, baselines, coverage, figure5csv, figure6csv")
 	)
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	sections := map[string]func(io.Writer, report.Config) error{
 		"all":        report.All,

@@ -67,8 +67,10 @@ func main() {
 		*bench, *strategy, est.K, est.KCom, est.Threads)
 
 	if *verbose {
+		r := engine.NewRunner(prog(*extra), opts)
+		strat := factory(est)
 		for i := 0; i < *runs; i++ {
-			o := engine.Run(prog(*extra), factory(est), *seed+int64(i), opts)
+			o := r.Run(strat, *seed+int64(i))
 			if detect(o) {
 				fmt.Printf("first failure at round %d (seed %d):\n", i, *seed+int64(i))
 				for _, m := range o.BugMessages {

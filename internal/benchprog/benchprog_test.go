@@ -22,7 +22,7 @@ func TestAllBenchmarksRunClean(t *testing.T) {
 				harness.PCTFactory(b.Depth + 1),
 				harness.PCTWMFactory(b.Depth, 1),
 			} {
-				res, _ := harness.BenchTrials(b, factory, 100, 7, 0)
+				res, _ := harness.BenchTrials(b, factory, 100, 7, 0, 1)
 				if res.Aborted > 0 || res.Deadlock > 0 {
 					t.Fatalf("aborted=%d deadlocked=%d", res.Aborted, res.Deadlock)
 				}
@@ -42,7 +42,7 @@ func TestDepthZeroBenchmarksAlwaysHit(t *testing.T) {
 		}
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			res, _ := harness.BenchTrials(b, harness.PCTWMFactory(0, 1), trialRuns, 11, 0)
+			res, _ := harness.BenchTrials(b, harness.PCTWMFactory(0, 1), trialRuns, 11, 0, 1)
 			if res.Hits != res.Runs {
 				t.Fatalf("PCTWM d=0 hit %d/%d, want all", res.Hits, res.Runs)
 			}
@@ -58,8 +58,8 @@ func TestPCTWMBeatsBaselines(t *testing.T) {
 	for _, b := range benchprog.All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			random, _ := harness.BenchTrials(b, harness.C11Tester(), trialRuns, 21, 0)
-			pctwm, _ := harness.BestOverH(b, b.Depth, 2, trialRuns, 22)
+			random, _ := harness.BenchTrials(b, harness.C11Tester(), trialRuns, 21, 0, 1)
+			pctwm, _ := harness.BestOverH(b, b.Depth, 2, trialRuns, 22, 1)
 			if b.Name == "seqlock" {
 				if pctwm.Rate() >= random.Rate() {
 					t.Fatalf("seqlock should favor random testing: pctwm %.1f%% vs random %.1f%%", pctwm.Rate(), random.Rate())
@@ -107,8 +107,8 @@ func TestExtraWritesDoNotChangeDepth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		base, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), trialRuns, 31, 0)
-		loaded, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), trialRuns, 32, 10)
+		base, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), trialRuns, 31, 0, 1)
+		loaded, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), trialRuns, 32, 10, 1)
 		if diff := base.Rate() - loaded.Rate(); diff > 25 || diff < -25 {
 			t.Fatalf("%s: PCTWM rate moved from %.1f%% to %.1f%% with 10 inserted writes", name, base.Rate(), loaded.Rate())
 		}
@@ -199,7 +199,7 @@ func TestFixedBenchmarksAreClean(t *testing.T) {
 // must still expose their bugs.
 func TestSeededBenchmarksStillDetect(t *testing.T) {
 	for _, b := range benchprog.All() {
-		res, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), 150, 13, 0)
+		res, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), 150, 13, 0, 1)
 		if res.Hits == 0 {
 			t.Fatalf("%s: seeded bug no longer detected", b.Name)
 		}

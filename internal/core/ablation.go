@@ -66,14 +66,17 @@ func (s *AblatedPCTWM) NextThread(enabled []engine.PendingOp) memmodel.ThreadID 
 	}
 	for {
 		op := s.highestPriority(enabled)
-		key := eventKey{op.TID, op.Index}
-		if !op.IsCommunicationEvent() || s.counted[key] {
+		st := s.thread(op.TID)
+		if !op.IsCommunicationEvent() || op.Index <= st.lastCounted {
 			return op.TID
 		}
-		s.counted[key] = true
+		st.lastCounted = op.Index
 		s.commSeen++
-		if _, hit := s.sampled[s.commSeen]; hit {
-			s.reorder[key] = true // readGlobal, but no demotion
+		for _, idx := range s.sampled {
+			if idx == s.commSeen {
+				st.reorderIdx = op.Index // readGlobal, but no demotion
+				break
+			}
 		}
 		return op.TID
 	}
@@ -84,12 +87,13 @@ func (s *AblatedPCTWM) PickRead(rc engine.ReadContext) int {
 	n := len(rc.Candidates)
 	switch s.mode {
 	case AblateHistory:
-		if s.reorder[eventKey{rc.TID, rc.Index}] {
+		if s.thread(rc.TID).reorderIdx == rc.Index {
 			return s.rng.Intn(n) // unbounded history
 		}
 		return s.PCTWM.PickRead(rc)
 	case AblateLocalViews:
-		if s.reorder[eventKey{rc.TID, rc.Index}] || s.sticky[rc.TID] || s.escape[rc.TID] {
+		st := s.thread(rc.TID)
+		if st.reorderIdx == rc.Index || st.sticky || st.escape {
 			return s.PCTWM.PickRead(rc)
 		}
 		return s.rng.Intn(n) // non-sink reads unrestricted

@@ -31,13 +31,13 @@ func TestPCTWMDelaysSampledCommEvent(t *testing.T) {
 	read := pending(2, 0, memmodel.KindRead, memmodel.Relaxed)
 
 	// Force thread 2 to be the highest priority so its read is counted.
-	s.prio[2] = 1000
+	s.thread(2).prio = 1000
 	got := s.NextThread([]engine.PendingOp{write, read})
 	if got != 1 {
 		t.Fatalf("sampled sink's thread must be demoted; scheduled t%d", got)
 	}
-	if s.prio[2] >= s.prio[1] {
-		t.Fatalf("demotion failed: prio[2]=%d prio[1]=%d", s.prio[2], s.prio[1])
+	if s.thread(2).prio >= s.thread(1).prio {
+		t.Fatalf("demotion failed: prio[2]=%d prio[1]=%d", s.thread(2).prio, s.thread(1).prio)
 	}
 
 	// When only the delayed thread remains, it must run (counted guard).
@@ -100,22 +100,22 @@ func TestPCTWMSpinEscape(t *testing.T) {
 	s.Begin(engine.ProgramInfo{NumRootThreads: 2}, newRng())
 	s.OnThreadStart(1, 0)
 	s.OnThreadStart(2, 0)
-	before := s.prio[1]
+	before := s.thread(1).prio
 	s.OnSpin(1)
-	if s.prio[1] >= before {
+	if s.thread(1).prio >= before {
 		t.Fatal("OnSpin must demote the spinner")
 	}
 	rc := engine.ReadContext{TID: 1, Index: 9, Loc: 1, Candidates: make([]engine.ReadCandidate, 8)}
 	seen := map[int]bool{}
 	for i := 0; i < 200; i++ {
-		s.escape[1] = true
+		s.thread(1).escape = true
 		seen[s.PickRead(rc)] = true
 	}
 	if len(seen) < 4 {
 		t.Fatalf("escape reads should roam all candidates, saw %v", seen)
 	}
 	// The escape is one-shot.
-	s.escape[1] = false
+	s.thread(1).escape = false
 	if pick := s.PickRead(rc); pick != 0 {
 		t.Fatalf("after the escape, reads are local again; got %d", pick)
 	}
@@ -143,7 +143,7 @@ func TestPCTPriorities(t *testing.T) {
 	s.Begin(engine.ProgramInfo{NumRootThreads: 2}, newRng())
 	s.OnThreadStart(1, 0)
 	s.OnThreadStart(2, 0)
-	s.prio[1], s.prio[2] = 50, 40
+	*s.priority(1), *s.priority(2) = 50, 40
 	en := []engine.PendingOp{
 		pending(1, 0, memmodel.KindWrite, memmodel.Relaxed),
 		pending(2, 0, memmodel.KindWrite, memmodel.Relaxed),
@@ -152,10 +152,10 @@ func TestPCTPriorities(t *testing.T) {
 		t.Fatalf("highest priority must run, got t%d", got)
 	}
 	// Force the single change point (d=2 → 1 change point) to fire now.
-	s.changeAt = map[int]int{1: 1}
+	s.changeAt = []int{1}
 	s.counter = 0
 	s.OnEvent(memmodel.Event{TID: 1, Label: memmodel.Label{Kind: memmodel.KindWrite, Order: memmodel.Relaxed, Loc: 1}})
-	if s.prio[1] >= s.prio[2] {
+	if *s.priority(1) >= *s.priority(2) {
 		t.Fatalf("change point must demote the running thread: %v", s.prio)
 	}
 	if got := s.NextThread(en); got != 2 {
@@ -184,7 +184,7 @@ func TestSampleDistinct(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		n := int(nRaw%6) + 1
 		max := int(maxRaw%10) + 1
-		pts := sampleDistinct(r, n, max)
+		pts := sampleDistinct(r, n, max, nil)
 		if len(pts) > max || (n <= max && len(pts) != n) {
 			return false
 		}

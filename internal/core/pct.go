@@ -22,9 +22,9 @@ type PCT struct {
 
 	rng *rand.Rand
 
-	prio      map[memmodel.ThreadID]int
-	counter   int         // executed events so far
-	changeAt  map[int]int // event count -> change-point rank (1..d-1)
+	prio      []int // index = tid-1
+	counter   int   // executed events so far
+	changeAt  []int // changeAt[rank-1] = event count of change point rank
 	minPrio   int
 	highBase  int
 	highCount int
@@ -48,33 +48,63 @@ func (s *PCT) Name() string { return "pct" }
 // Begin implements engine.Strategy.
 func (s *PCT) Begin(info engine.ProgramInfo, r *rand.Rand) {
 	s.rng = r
-	s.prio = make(map[memmodel.ThreadID]int, info.NumRootThreads)
+	s.prio = s.prio[:0]
 	s.counter = 0
 	s.highBase = s.Depth + 1
 	s.highCount = 0
 	s.minPrio = 0
 	// Sample d−1 distinct change points from [1, k].
-	s.changeAt = make(map[int]int, s.Depth-1)
+	s.changeAt = s.changeAt[:0]
 	if s.Depth > 1 {
-		pts := sampleDistinct(s.rng, s.Depth-1, s.Events)
-		for rank, p := range pts {
-			s.changeAt[p] = rank + 1
-		}
+		s.changeAt = sampleDistinct(s.rng, s.Depth-1, s.Events, s.changeAt)
 	}
 }
 
 // sampleDistinct samples n distinct integers from [1, max] (fewer when
-// max < n), in random order.
-func sampleDistinct(r *rand.Rand, n, max int) []int {
+// max < n), in random order, appending them to buf[:0]. For sparse samples
+// (the common case: n is the bug depth, max the event-count estimate) it
+// uses rejection sampling against the small result set; the dense case
+// falls back to a full permutation.
+func sampleDistinct(r *rand.Rand, n, max int, buf []int) []int {
 	if n > max {
 		n = max
 	}
-	perm := r.Perm(max)
-	pts := make([]int, n)
-	for i := 0; i < n; i++ {
-		pts[i] = perm[i] + 1
+	pts := buf[:0]
+	if n == 0 {
+		return pts
+	}
+	if 2*n >= max {
+		// Dense: rejection would thrash; a permutation is O(max) anyway.
+		perm := r.Perm(max)
+		for i := 0; i < n; i++ {
+			pts = append(pts, perm[i]+1)
+		}
+		return pts
+	}
+	for len(pts) < n {
+		v := r.Intn(max) + 1
+		dup := false
+		for _, p := range pts {
+			if p == v {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			pts = append(pts, v)
+		}
 	}
 	return pts
+}
+
+// priority returns a pointer to tid's priority slot, growing the dense
+// table on demand.
+func (s *PCT) priority(tid memmodel.ThreadID) *int {
+	i := int(tid) - 1
+	for len(s.prio) <= i {
+		s.prio = append(s.prio, 0)
+	}
+	return &s.prio[i]
 }
 
 // OnThreadStart assigns a fresh random high priority.
@@ -82,15 +112,15 @@ func (s *PCT) OnThreadStart(tid, _ memmodel.ThreadID) {
 	s.highCount++
 	// A random rank among the high band; ties broken by thread id in
 	// NextThread, so reused ranks are harmless.
-	s.prio[tid] = s.highBase + s.rng.Intn(s.highCount*2)
+	*s.priority(tid) = s.highBase + s.rng.Intn(s.highCount*2)
 }
 
 // NextThread runs the highest-priority enabled thread.
 func (s *PCT) NextThread(enabled []engine.PendingOp) memmodel.ThreadID {
 	best := enabled[0].TID
-	bestPrio := s.prio[best]
+	bestPrio := *s.priority(best)
 	for _, op := range enabled[1:] {
-		if p := s.prio[op.TID]; p > bestPrio {
+		if p := *s.priority(op.TID); p > bestPrio {
 			best, bestPrio = op.TID, p
 		}
 	}
@@ -109,10 +139,13 @@ func (s *PCT) OnEvent(ev memmodel.Event) {
 		return
 	}
 	s.counter++
-	if rank, ok := s.changeAt[s.counter]; ok {
-		// Drop the current thread's priority to d − rank, below every
-		// initial priority; later change points sit lower still.
-		s.prio[ev.TID] = s.Depth - rank
+	for i, p := range s.changeAt {
+		if p == s.counter {
+			// Drop the current thread's priority to d − rank, below every
+			// initial priority; later change points sit lower still.
+			*s.priority(ev.TID) = s.Depth - (i + 1)
+			break
+		}
 	}
 }
 
@@ -121,5 +154,5 @@ func (s *PCT) OnEvent(ev memmodel.Event) {
 // original PCT, §6.2).
 func (s *PCT) OnSpin(tid memmodel.ThreadID) {
 	s.minPrio--
-	s.prio[tid] = s.minPrio
+	*s.priority(tid) = s.minPrio
 }

@@ -15,6 +15,25 @@ type eventKey struct {
 	index int
 }
 
+// pctwmThread is PCTWM's per-thread state, stored densely (index = tid-1)
+// so the per-step hot path performs no map operations.
+type pctwmThread struct {
+	prio   int
+	spins  int
+	escape bool
+	sticky bool
+	// lastCounted is the po index of this thread's most recent pending
+	// communication event already counted toward kcom; -1 if none. A
+	// thread's pending index is monotone, so "op.Index <= lastCounted"
+	// is exactly the counted-set membership test of Algorithm 1.
+	lastCounted int
+	// reorderIdx is the po index of this thread's currently delayed
+	// communication event; -1 if none. A thread has at most one pending
+	// event, and a delayed event's flag is only consulted while it is
+	// still pending, so one index per thread replaces the reorder set.
+	reorderIdx int
+}
+
 // PCTWM is the paper's Probabilistic Concurrency Testing for Weak Memory
 // algorithm (Algorithm 1). It samples an execution with d communication
 // relations whose source events lie within history depth h:
@@ -38,17 +57,16 @@ type PCTWM struct {
 
 	rng *rand.Rand
 
-	prio     map[memmodel.ThreadID]int
-	sampled  map[int]int // communication-event index -> tuple position k (1-based)
-	counted  map[eventKey]bool
-	reorder  map[eventKey]bool
-	escape   map[memmodel.ThreadID]bool
-	spins    map[memmodel.ThreadID]int
-	sticky   map[memmodel.ThreadID]bool
-	commSeen int
-	minPrio  int
-	highBase int
-	highN    int
+	threads []pctwmThread // index = tid-1
+	// sampled holds the d sampled communication-event indices; sampled[k]
+	// is the index (in encounter order) of tuple position k+1. d is small,
+	// so the per-communication-event lookup is a linear scan.
+	sampled   []int
+	sampleBuf []int // scratch for sampleDistinct, reused across runs
+	commSeen  int
+	minPrio   int
+	highBase  int
+	highN     int
 }
 
 // stickyEscapeAfter is the number of livelock notifications for one
@@ -80,34 +98,38 @@ func (s *PCTWM) Name() string { return "pctwm" }
 // [1, kcom] (Algorithm 1, Data).
 func (s *PCTWM) Begin(info engine.ProgramInfo, r *rand.Rand) {
 	s.rng = r
-	s.prio = make(map[memmodel.ThreadID]int, info.NumRootThreads)
-	s.counted = make(map[eventKey]bool)
-	s.reorder = make(map[eventKey]bool)
-	s.escape = make(map[memmodel.ThreadID]bool)
-	s.spins = make(map[memmodel.ThreadID]int)
-	s.sticky = make(map[memmodel.ThreadID]bool)
+	s.threads = s.threads[:0]
 	s.commSeen = 0
 	s.minPrio = 0
 	s.highBase = s.Depth + 1
 	s.highN = 0
-	s.sampled = make(map[int]int, s.Depth)
-	for k, idx := range sampleDistinct(r, s.Depth, s.CommEvents) {
-		s.sampled[idx] = k + 1
+	s.sampleBuf = sampleDistinct(r, s.Depth, s.CommEvents, s.sampleBuf)
+	s.sampled = s.sampleBuf
+}
+
+// thread returns the dense state slot for tid, growing the table on
+// demand (slots are zeroed and marked unused when grown).
+func (s *PCTWM) thread(tid memmodel.ThreadID) *pctwmThread {
+	i := int(tid) - 1
+	for len(s.threads) <= i {
+		s.threads = append(s.threads, pctwmThread{lastCounted: -1, reorderIdx: -1})
 	}
+	return &s.threads[i]
 }
 
 // OnThreadStart gives every new thread a random priority above the d
 // reserved slots (Algorithm 1, line 3).
 func (s *PCTWM) OnThreadStart(tid, _ memmodel.ThreadID) {
 	s.highN++
-	s.prio[tid] = s.highBase + s.rng.Intn(s.highN*2)
+	st := s.thread(tid)
+	*st = pctwmThread{prio: s.highBase + s.rng.Intn(s.highN*2), lastCounted: -1, reorderIdx: -1}
 }
 
 func (s *PCTWM) highestPriority(enabled []engine.PendingOp) engine.PendingOp {
 	best := enabled[0]
-	bestPrio := s.prio[best.TID]
+	bestPrio := s.thread(best.TID).prio
 	for _, op := range enabled[1:] {
-		if p := s.prio[op.TID]; p > bestPrio {
+		if p := s.thread(op.TID).prio; p > bestPrio {
 			best, bestPrio = op, p
 		}
 	}
@@ -123,22 +145,28 @@ func (s *PCTWM) highestPriority(enabled []engine.PendingOp) engine.PendingOp {
 func (s *PCTWM) NextThread(enabled []engine.PendingOp) memmodel.ThreadID {
 	for {
 		op := s.highestPriority(enabled)
-		key := eventKey{op.TID, op.Index}
-		if !op.IsCommunicationEvent() || s.counted[key] {
+		st := s.thread(op.TID)
+		if !op.IsCommunicationEvent() || op.Index <= st.lastCounted {
 			return op.TID
 		}
-		s.counted[key] = true
+		st.lastCounted = op.Index
 		s.commSeen++
-		k, hit := s.sampled[s.commSeen]
-		if !hit {
+		k := 0
+		for i, idx := range s.sampled {
+			if idx == s.commSeen {
+				k = i + 1
+				break
+			}
+		}
+		if k == 0 {
 			return op.TID
 		}
 		// Delay: move the thread into reserved slot d−k+1 and mark the
 		// event as a communication sink (lines 9-13).
-		s.prio[op.TID] = s.Depth - k + 1
-		s.reorder[key] = true
+		st.prio = s.Depth - k + 1
+		st.reorderIdx = op.Index
 		// If this thread was the only enabled one, it must run anyway;
-		// the counted-set guard above returns it on the next iteration.
+		// the counted guard above returns it on the next iteration.
 	}
 }
 
@@ -149,14 +177,15 @@ func (s *PCTWM) NextThread(enabled []engine.PendingOp) memmodel.ThreadID {
 // read once, approaching naive random testing (§6.2).
 func (s *PCTWM) PickRead(rc engine.ReadContext) int {
 	n := len(rc.Candidates)
-	if s.sticky[rc.TID] {
+	st := s.thread(rc.TID)
+	if st.sticky {
 		return s.rng.Intn(n)
 	}
-	if s.escape[rc.TID] {
-		s.escape[rc.TID] = false
+	if st.escape {
+		st.escape = false
 		return s.rng.Intn(n)
 	}
-	if s.reorder[eventKey{rc.TID, rc.Index}] {
+	if st.reorderIdx == rc.Index {
 		h := s.History
 		if h > n {
 			h = n
@@ -177,10 +206,11 @@ func (s *PCTWM) OnEvent(memmodel.Event) {}
 // degrading gracefully to naive random testing.
 func (s *PCTWM) OnSpin(tid memmodel.ThreadID) {
 	s.minPrio--
-	s.prio[tid] = s.minPrio
-	s.escape[tid] = true
-	s.spins[tid]++
-	if s.spins[tid] >= stickyEscapeAfter {
-		s.sticky[tid] = true
+	st := s.thread(tid)
+	st.prio = s.minPrio
+	st.escape = true
+	st.spins++
+	if st.spins >= stickyEscapeAfter {
+		st.sticky = true
 	}
 }

@@ -9,7 +9,6 @@ package engine
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
@@ -18,22 +17,35 @@ import (
 	"pctwm/internal/vclock"
 )
 
-// Engine runs one execution of a program under a strategy. Create a fresh
-// Engine per run via Run; an Engine is not reusable.
+// Engine holds the mutable state of one execution. It is embedded in a
+// Runner and reset between runs; use Run or Runner for the public API.
 type Engine struct {
-	prog  *Program
-	strat Strategy
-	opts  Options
-	rng   *rand.Rand
+	prog   *Program
+	strat  Strategy
+	opts   Options
+	rng    *rand.Rand
+	rngSrc xoshiro // backing source of rng; cheap O(1) re-seed per run
 
-	locs     []location // index = Loc-1
-	locNames map[memmodel.Loc]string
+	// viewArena and vcArena recycle the per-write view bags and release
+	// clocks across this engine's executions. They are engine-local (not
+	// package-global) so their freelists need no synchronization: all
+	// accesses happen under the scheduler baton.
+	viewArena memmodel.ViewArena
+	vcArena   vclock.Arena
 
-	threads map[memmodel.ThreadID]*Thread
-	nextTID memmodel.ThreadID
+	locs []location // index = Loc-1
 
+	threads     []*Thread // index = ThreadID-1, creation order
+	freeThreads []*Thread // recycled thread shells from earlier runs
+	nextTID     memmodel.ThreadID
+
+	// parkCh/doneCh serve thread startup (first park / immediate finish);
+	// both are reused across runs. killed is closed at teardown and must be
+	// fresh per run. endCh (buffered) carries the end-of-run signal from
+	// whichever goroutine holds the baton back to the host.
 	parkCh chan *Thread
 	doneCh chan threadDone
+	endCh  chan struct{}
 	killed chan struct{}
 	wg     sync.WaitGroup
 
@@ -47,6 +59,12 @@ type Engine struct {
 	rec         *Recording
 	det         *race.Detector
 
+	// scratch buffers reused across steps to keep the hot loop
+	// allocation-free.
+	evScratch  memmodel.Event
+	enabledBuf []PendingOp
+	candBuf    []ReadCandidate
+
 	stepsSinceProgress int
 	stopped            bool
 }
@@ -57,49 +75,153 @@ type threadDone struct {
 	panicVal any
 }
 
-// Run executes prog once under strat with the given random seed and
-// options, returning the outcome. The seed drives only the strategy's
-// decisions; the engine itself is deterministic.
-func Run(prog *Program, strat Strategy, seed int64, opts Options) *Outcome {
+// Runner executes a program repeatedly, reusing location tables, message
+// bags, thread shells, scratch buffers and scheduler channels between runs
+// so that a steady-state trial loop allocates near-zero memory per run.
+//
+// A Runner is bound to one immutable Program and one Options value. It is
+// NOT safe for concurrent use; for parallel trials give each worker its own
+// Runner (see internal/harness.RunTrialsPooled).
+//
+// Determinism guarantee: for a fixed program, strategy and seed, a run
+// produces the same Outcome (and byte-identical Recording) whether the
+// Runner is fresh or has executed any number of prior runs, and whether
+// the trial executes on the serial or the pooled harness path.
+type Runner struct {
+	e Engine
+}
+
+// NewRunner prepares a reusable Runner for prog. The program is sealed on
+// first use exactly as with Run.
+func NewRunner(prog *Program, opts Options) *Runner {
 	if prog.NumThreads() == 0 {
 		panic(fmt.Sprintf("pctwm: program %q has no threads", prog.Name()))
 	}
 	prog.sealed.Store(true)
-	e := &Engine{
-		prog:     prog,
-		strat:    strat,
-		opts:     opts.withDefaults(),
-		rng:      rand.New(rand.NewSource(seed)),
-		locNames: make(map[memmodel.Loc]string),
-		threads:  make(map[memmodel.ThreadID]*Thread),
-		parkCh:   make(chan *Thread),
-		doneCh:   make(chan threadDone),
-		killed:   make(chan struct{}),
-	}
-	if e.opts.Record {
-		e.rec = &Recording{LocNames: e.locNames}
-	}
-	if e.opts.DetectRaces {
-		e.det = race.NewDetector(e.locName, e.opts.MaxRaces)
-	}
+	r := &Runner{}
+	e := &r.e
+	e.prog = prog
+	e.opts = opts.withDefaults()
+	e.parkCh = make(chan *Thread)
+	e.doneCh = make(chan threadDone)
+	e.endCh = make(chan struct{}, 1)
+	return r
+}
+
+// Program returns the program this Runner executes.
+func (r *Runner) Program() *Program { return r.e.prog }
+
+// Run executes the program once under strat with the given random seed and
+// returns the outcome. The seed drives only the strategy's decisions; the
+// engine itself is deterministic. The returned Outcome does not alias
+// Runner state and stays valid across subsequent runs.
+func (r *Runner) Run(strat Strategy, seed int64) *Outcome {
+	e := &r.e
+	e.reset(strat, seed)
 	start := time.Now()
 	e.run()
 	e.outcome.Duration = time.Since(start)
+	e.finalize()
+	out := e.outcome
+	e.outcome = Outcome{}
+	return &out
+}
+
+// Run executes prog once under strat with the given random seed and
+// options, returning the outcome. It is a one-shot wrapper over Runner;
+// repeated-trial loops should create a Runner (or use the harness) to
+// amortize setup.
+func Run(prog *Program, strat Strategy, seed int64, opts Options) *Outcome {
+	return NewRunner(prog, opts).Run(strat, seed)
+}
+
+// reset prepares the engine for a fresh execution. Location tables, thread
+// shells and scratch buffers retained by the previous run are reused;
+// everything observable starts from the initial state.
+func (e *Engine) reset(strat Strategy, seed int64) {
+	e.strat = strat
+	e.rngSrc.Seed(seed)
+	if e.rng == nil {
+		e.rng = rand.New(&e.rngSrc)
+	}
+	e.killed = make(chan struct{})
+	e.nextTID = 0
+	e.scView.Reset()
+	e.scVC.Reset()
+	e.nextEventID = 0
+	e.outcome = Outcome{}
+	e.rec = nil
+	if e.opts.Record {
+		e.rec = &Recording{}
+	}
+	if e.opts.DetectRaces {
+		if e.det == nil {
+			e.det = race.NewDetector(e.locName, e.opts.MaxRaces)
+		} else {
+			e.det.Reset()
+		}
+	}
+	e.stepsSinceProgress = 0
+	e.stopped = false
+}
+
+// finalize snapshots everything the Outcome needs from engine state, then
+// releases the run's pooled resources (message bags, release clocks,
+// location tables, thread shells) back to their arenas.
+func (e *Engine) finalize() {
 	e.outcome.Recording = e.rec
+	if e.rec != nil {
+		names := make(map[memmodel.Loc]string, len(e.locs))
+		for i := range e.locs {
+			l := memmodel.Loc(i + 1)
+			names[l] = e.locs[i].displayName(l)
+		}
+		e.rec.LocNames = names
+	}
 	if e.det != nil {
-		e.outcome.Races = e.det.Races()
+		// Copy: the detector's race slice is reused by the next run's Reset,
+		// while Outcomes must stay valid indefinitely.
+		if rs := e.det.Races(); len(rs) > 0 {
+			e.outcome.Races = append([]race.Race(nil), rs...)
+		}
 	}
 	e.outcome.FinalValues = e.finalValues()
-	return &e.outcome
+	e.releaseRun()
+}
+
+// releaseRun drains the per-run pooled state. Message bags and release
+// clocks go back to the arenas; locations and thread shells are truncated
+// in place so the next run reuses their backing storage.
+func (e *Engine) releaseRun() {
+	for i := range e.locs {
+		loc := &e.locs[i]
+		for j := range loc.mo {
+			e.viewArena.Release(&loc.mo[j].bag)
+			e.vcArena.Release(&loc.mo[j].relVC)
+		}
+		loc.mo = loc.mo[:0]
+		loc.name = ""
+		loc.allocName = ""
+	}
+	e.locs = e.locs[:0]
+	e.freeThreads = append(e.freeThreads, e.threads...)
+	e.threads = e.threads[:0]
 }
 
 func (e *Engine) locName(l memmodel.Loc) string {
-	if n, ok := e.locNames[l]; ok {
-		return n
+	if i := int(l) - 1; i >= 0 && i < len(e.locs) {
+		return e.locs[i].displayName(l)
 	}
 	return fmt.Sprintf("x%d", l)
 }
 
+// run executes the scheduling protocol. The engine serializes threads with
+// a baton: exactly one goroutine — the host (this function) or one thread
+// goroutine — may touch engine state at a time. A parked thread that holds
+// the baton drives the next scheduling decision itself and hands the baton
+// directly to the granted thread, so consecutive grants to the same thread
+// cost no goroutine switch and alternating grants cost one (the classic
+// engine-in-the-middle protocol costs two per step).
 func (e *Engine) run() {
 	defer e.teardown()
 
@@ -111,10 +233,9 @@ func (e *Engine) run() {
 	if e.nextEventID > 0 {
 		lastInit = e.nextEventID - 1
 	}
-	roots := make([]*Thread, 0, len(e.prog.threads))
+	nRoots := len(e.prog.threads)
 	for _, rt := range e.prog.threads {
 		t := e.newThread(rt.name, initView, initVC)
-		roots = append(roots, t)
 		if e.rec != nil {
 			e.rec.SpawnLinks = append(e.rec.SpawnLinks, SpawnLink{From: lastInit, Child: t.id})
 		}
@@ -123,37 +244,63 @@ func (e *Engine) run() {
 
 	e.strat.Begin(ProgramInfo{
 		Name:           e.prog.Name(),
-		NumRootThreads: len(roots),
+		NumRootThreads: nRoots,
 	}, e.rng)
-	for _, t := range roots {
-		e.strat.OnThreadStart(t.id, memmodel.InitThread)
+	for i := 0; i < nRoots; i++ {
+		e.strat.OnThreadStart(e.threads[i].id, memmodel.InitThread)
 	}
 
-	for !e.stopped {
-		enabled := e.enabledOps()
-		if len(enabled) == 0 {
-			if e.liveThreads() > 0 {
-				e.outcome.Deadlocked = true
-			}
-			return
-		}
-		if e.outcome.Steps >= e.opts.MaxSteps {
-			e.outcome.Aborted = true
-			return
-		}
-		tid := e.strat.NextThread(enabled)
-		t := e.threads[tid]
-		if t == nil || !e.isEnabled(t) {
-			panic(fmt.Sprintf("pctwm: strategy %s chose non-enabled thread %d", e.strat.Name(), tid))
-		}
-		e.outcome.Steps++
-		e.stepsSinceProgress++
-		e.execute(t)
-		if e.stepsSinceProgress >= e.opts.StallWindow {
-			e.stepsSinceProgress = 0
-			e.strat.OnSpin(tid)
-		}
+	// Kick off: the host performs the first scheduling decision, hands the
+	// baton to the granted thread, and waits for the end-of-run signal.
+	t, res, ended := e.driveStep()
+	if ended {
+		return
 	}
+	t.wake <- res
+	<-e.endCh
+}
+
+// driveStep performs one scheduling decision: it collects the enabled
+// operations, asks the strategy, applies the chosen thread's pending
+// operation and returns the thread to wake together with its response.
+// ended is true when the run is over (deadlock, step budget, bug with
+// StopOnBug) and no thread should be woken. The caller must hold the
+// baton.
+func (e *Engine) driveStep() (granted *Thread, res response, ended bool) {
+	enabled := e.enabledOps()
+	if len(enabled) == 0 {
+		if e.liveThreads() > 0 {
+			e.outcome.Deadlocked = true
+		}
+		return nil, response{}, true
+	}
+	if e.outcome.Steps >= e.opts.MaxSteps {
+		e.outcome.Aborted = true
+		return nil, response{}, true
+	}
+	tid := e.strat.NextThread(enabled)
+	t := e.thread(tid)
+	if t == nil || !e.isEnabled(t) {
+		panic(fmt.Sprintf("pctwm: strategy %s chose non-enabled thread %d", e.strat.Name(), tid))
+	}
+	e.outcome.Steps++
+	e.stepsSinceProgress++
+	res = e.apply(t)
+	if e.stopped {
+		return nil, response{}, true
+	}
+	if e.stepsSinceProgress >= e.opts.StallWindow {
+		e.stepsSinceProgress = 0
+		e.strat.OnSpin(tid)
+	}
+	return t, res, false
+}
+
+// signalEnd notifies the host that the run is over. endCh is buffered and
+// at most one end is signalled per run (the baton is unique), so the send
+// never blocks.
+func (e *Engine) signalEnd() {
+	e.endCh <- struct{}{}
 }
 
 // initMemory creates the initialization writes (thread 0) and returns the
@@ -161,10 +308,8 @@ func (e *Engine) run() {
 func (e *Engine) initMemory() (memmodel.View, vclock.VC) {
 	var view memmodel.View
 	var vc vclock.VC
-	e.locs = make([]location, 0, len(e.prog.locs))
 	for i, d := range e.prog.locs {
 		l := memmodel.Loc(i + 1)
-		e.locNames[l] = d.name
 		vc.Tick(int(memmodel.InitThread))
 		ev := e.newEvent(memmodel.InitThread, i, memmodel.Label{
 			Kind:  memmodel.KindWrite,
@@ -174,55 +319,93 @@ func (e *Engine) initMemory() (memmodel.View, vclock.VC) {
 		})
 		ev.Stamp = 1
 		e.record(ev)
-		var bag memmodel.View
+		bag := e.viewArena.New(int(l))
 		bag.Set(l, 1)
-		e.locs = append(e.locs, location{
-			name: d.name,
-			mo: []message{{
-				stamp: 1, val: d.init,
-				tid: memmodel.InitThread, event: ev.ID,
-				bag: bag, relVC: vc.Clone(),
-			}},
+		loc := e.pushLoc()
+		loc.name = d.name
+		loc.mo = append(loc.mo, message{
+			stamp: 1, val: d.init,
+			tid: memmodel.InitThread, event: ev.ID,
+			bag: bag, relVC: e.vcArena.Clone(vc),
 		})
 		view.Set(l, 1)
 	}
 	return view, vc
 }
 
+// pushLoc extends the location table by one slot, reusing the slot's
+// modification-order backing array from a previous run when available.
+func (e *Engine) pushLoc() *location {
+	if len(e.locs) < cap(e.locs) {
+		e.locs = e.locs[:len(e.locs)+1]
+	} else {
+		e.locs = append(e.locs, location{})
+	}
+	return &e.locs[len(e.locs)-1]
+}
+
+func (e *Engine) thread(tid memmodel.ThreadID) *Thread {
+	if i := int(tid) - 1; i >= 0 && i < len(e.threads) {
+		return e.threads[i]
+	}
+	return nil
+}
+
 func (e *Engine) newThread(name string, view memmodel.View, vc vclock.VC) *Thread {
 	e.nextTID++
-	t := &Thread{
-		eng:    e,
-		id:     e.nextTID,
-		name:   name,
-		resume: make(chan response),
-		cur:    view.Clone(),
-		curVC:  vc.Clone(),
+	var t *Thread
+	if n := len(e.freeThreads); n > 0 {
+		t = e.freeThreads[n-1]
+		e.freeThreads = e.freeThreads[:n-1]
+		t.recycle()
+	} else {
+		t = &Thread{eng: e, wake: make(chan response)}
 	}
-	e.threads[t.id] = t
+	t.id = e.nextTID
+	t.name = name
+	t.firstPark = true
+	t.cur.CopyFrom(view)
+	t.curVC.CopyFrom(vc)
+	e.threads = append(e.threads, t)
 	return t
 }
 
 // startThread launches the goroutine for t and waits for it to park on its
-// first operation (or finish immediately).
+// first operation (or finish immediately). The caller holds the baton.
 func (e *Engine) startThread(t *Thread, fn ThreadFunc) {
 	t.started = true
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
 		defer func() {
-			if r := recover(); r != nil {
+			r := recover()
+			if r != nil {
 				if _, ok := r.(killedError); ok {
 					return
 				}
+			}
+			if t.firstPark {
+				// Never parked: the starter is waiting on doneCh.
 				select {
-				case e.doneCh <- threadDone{tid: t.id, panicked: true, panicVal: r}:
+				case e.doneCh <- threadDone{tid: t.id, panicked: r != nil, panicVal: r}:
 				case <-e.killed:
 				}
 				return
 			}
+			// This goroutine holds the baton: account the completion and
+			// drive the next scheduling decision before exiting.
+			e.finishThread(t, threadDone{tid: t.id, panicked: r != nil, panicVal: r})
+			if e.stopped {
+				e.signalEnd()
+				return
+			}
+			t2, res, ended := e.driveStep()
+			if ended {
+				e.signalEnd()
+				return
+			}
 			select {
-			case e.doneCh <- threadDone{tid: t.id}:
+			case t2.wake <- res:
 			case <-e.killed:
 			}
 		}()
@@ -231,9 +414,9 @@ func (e *Engine) startThread(t *Thread, fn ThreadFunc) {
 	e.waitForPark(t)
 }
 
-// waitForPark blocks until thread t either parks on its next operation or
-// terminates. The engine's serialization invariant guarantees t is the
-// only runnable thread.
+// waitForPark blocks until thread t either parks on its first operation or
+// terminates. It is used only during thread startup, when the starter
+// holds the baton and t is the only runnable thread.
 func (e *Engine) waitForPark(t *Thread) {
 	select {
 	case parked := <-e.parkCh:
@@ -270,7 +453,7 @@ func (e *Engine) isEnabled(t *Thread) bool {
 	}
 	// A thread parked on Join is blocked until its target terminates.
 	if t.req.code == opJoin {
-		child := e.threads[t.req.joinTID]
+		child := e.thread(t.req.joinTID)
 		if child == nil || !child.finished {
 			return false
 		}
@@ -278,19 +461,18 @@ func (e *Engine) isEnabled(t *Thread) bool {
 	return true
 }
 
+// enabledOps collects the pending operations of all enabled threads in
+// ascending thread-id order (the threads slice is in creation = id order).
+// The returned slice aliases an engine scratch buffer: strategies must not
+// retain it across calls.
 func (e *Engine) enabledOps() []PendingOp {
-	tids := make([]memmodel.ThreadID, 0, len(e.threads))
-	for tid := range e.threads {
-		tids = append(tids, tid)
-	}
-	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
-	ops := make([]PendingOp, 0, len(tids))
-	for _, tid := range tids {
-		t := e.threads[tid]
+	ops := e.enabledBuf[:0]
+	for _, t := range e.threads {
 		if e.isEnabled(t) {
 			ops = append(ops, t.pending())
 		}
 	}
+	e.enabledBuf = ops
 	return ops
 }
 
@@ -304,8 +486,12 @@ func (e *Engine) liveThreads() int {
 	return n
 }
 
+// newEvent fills the engine's event scratch slot and returns it. At most
+// one event is under construction at a time (the execution is serialized
+// and every exec path finishes its event before starting another), so a
+// single scratch slot avoids a per-event heap allocation.
 func (e *Engine) newEvent(tid memmodel.ThreadID, index int, lab memmodel.Label) *memmodel.Event {
-	ev := &memmodel.Event{
+	e.evScratch = memmodel.Event{
 		ID:        e.nextEventID,
 		TID:       tid,
 		Index:     index,
@@ -313,7 +499,7 @@ func (e *Engine) newEvent(tid memmodel.ThreadID, index int, lab memmodel.Label) 
 		ReadsFrom: memmodel.NoEvent,
 	}
 	e.nextEventID++
-	return ev
+	return &e.evScratch
 }
 
 func (e *Engine) record(ev *memmodel.Event) {

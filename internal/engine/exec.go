@@ -4,12 +4,14 @@ import (
 	"fmt"
 
 	"pctwm/internal/memmodel"
+	"pctwm/internal/vclock"
 )
 
-// execute grants thread t's parked request, applies the memory-model
-// semantics (the view machine of Algorithm 2), and waits for t to park on
-// its next operation or terminate.
-func (e *Engine) execute(t *Thread) {
+// apply grants thread t's parked request and applies the memory-model
+// semantics (the view machine of Algorithm 2), returning the response the
+// thread resumes with. The caller (a baton holder, see driveStep) wakes t
+// with the response — or discards it when the run stopped.
+func (e *Engine) apply(t *Thread) response {
 	req := t.req
 	var res response
 	switch req.code {
@@ -38,11 +40,7 @@ func (e *Engine) execute(t *Thread) {
 	default:
 		panic(fmt.Sprintf("pctwm: unknown opcode %d", req.code))
 	}
-	if e.stopped {
-		return
-	}
-	t.resume <- res
-	e.waitForPark(t)
+	return res
 }
 
 // beginEvent ticks the thread's clock and builds the event skeleton.
@@ -89,19 +87,26 @@ func (e *Engine) loc(l memmodel.Loc) *location {
 
 // readCandidates returns the coherence-legal writes for a read of l by t in
 // ascending modification order: every write at or after the thread's view
-// floor. Candidates[0] is the thread-local view write (readLocal).
-func (e *Engine) readCandidates(t *Thread, l memmodel.Loc) []ReadCandidate {
+// floor. Without filtering, Candidates[0] is the thread-local view write
+// (readLocal). When excludeVal is set, writes carrying excluded are
+// filtered out (the failure path of a strong CAS). The returned slice
+// aliases an engine scratch buffer valid until the next read.
+func (e *Engine) readCandidates(t *Thread, l memmodel.Loc, excludeVal bool, excluded memmodel.Value) []ReadCandidate {
 	loc := e.loc(l)
 	floor := t.cur.Get(l)
 	if floor == 0 {
 		floor = 1
 	}
 	msgs := loc.mo[floor-1:]
-	cands := make([]ReadCandidate, len(msgs))
+	cands := e.candBuf[:0]
 	for i := range msgs {
 		m := &msgs[i]
-		cands[i] = ReadCandidate{Stamp: m.stamp, Value: m.val, Writer: m.event, WriterTID: m.tid}
+		if excludeVal && m.val == excluded {
+			continue
+		}
+		cands = append(cands, ReadCandidate{Stamp: m.stamp, Value: m.val, Writer: m.event, WriterTID: m.tid})
 	}
+	e.candBuf = cands
 	return cands
 }
 
@@ -111,16 +116,7 @@ func (e *Engine) execRead(t *Thread, l memmodel.Loc, ord memmodel.Order, casFail
 	if ord.IsSC() {
 		e.acquireSCView(t)
 	}
-	cands := e.readCandidates(t, l)
-	if casFail {
-		filtered := cands[:0:0]
-		for _, c := range cands {
-			if c.Value != expected {
-				filtered = append(filtered, c)
-			}
-		}
-		cands = filtered
-	}
+	cands := e.readCandidates(t, l, casFail, expected)
 	if len(cands) == 0 {
 		panic(fmt.Sprintf("pctwm: no read candidates for %s at %s", t.name, e.locName(l)))
 	}
@@ -160,16 +156,18 @@ func (e *Engine) execRead(t *Thread, l memmodel.Loc, ord memmodel.Order, casFail
 	return m.val
 }
 
-// publishBag computes the view a new write at (l, ts) publishes.
+// publishBag computes the view a new write at (l, ts) publishes. The
+// returned view's backing array comes from the view arena and is owned by
+// the message it is stored in.
 func (t *Thread) publishBag(l memmodel.Loc, ts memmodel.TS, ord memmodel.Order, readMsg *message) memmodel.View {
 	var bag memmodel.View
 	if ord.IsRelease() {
 		// Release write: publish the full thread view (sw source).
-		bag = t.cur.Clone()
+		bag = t.eng.viewArena.Clone(t.cur)
 	} else {
 		// Relaxed write after a release fence still carries the fence's
 		// view (source-side ([F];po) of the sw definition).
-		bag = t.relFence.Clone()
+		bag = t.eng.viewArena.Clone(t.relFence)
 	}
 	if readMsg != nil {
 		// RMWs continue release sequences: rf+ chains through updates, so
@@ -178,6 +176,15 @@ func (t *Thread) publishBag(l memmodel.Loc, ts memmodel.TS, ord memmodel.Order, 
 	}
 	bag.Set(l, ts)
 	return bag
+}
+
+// publishVC computes the happens-before clock a new write publishes along
+// sw; like publishBag, the backing array is arena-owned by the message.
+func (t *Thread) publishVC(ord memmodel.Order) vclock.VC {
+	if ord.IsRelease() {
+		return t.eng.vcArena.Clone(t.curVC)
+	}
+	return t.eng.vcArena.Clone(t.relFenceVC)
 }
 
 func (e *Engine) execWrite(t *Thread, l memmodel.Loc, v memmodel.Value, ord memmodel.Order) {
@@ -189,10 +196,7 @@ func (e *Engine) execWrite(t *Thread, l memmodel.Loc, v memmodel.Value, ord memm
 
 	ts := memmodel.TS(len(loc.mo) + 1)
 	bag := t.publishBag(l, ts, ord, nil)
-	relVC := t.relFenceVC.Clone()
-	if ord.IsRelease() {
-		relVC = t.curVC.Clone()
-	}
+	relVC := t.publishVC(ord)
 	loc.append(message{
 		val: v, tid: t.id, event: ev.ID,
 		bag: bag, relVC: relVC,
@@ -232,10 +236,7 @@ func (e *Engine) execRMW(t *Thread, l memmodel.Loc, ord memmodel.Order, f func(m
 	// Write side.
 	ts := memmodel.TS(len(loc.mo) + 1)
 	bag := t.publishBag(l, ts, ord, old)
-	relVC := t.relFenceVC.Clone()
-	if ord.IsRelease() {
-		relVC = t.curVC.Clone()
-	}
+	relVC := t.publishVC(ord)
 	relVC.Join(old.relVC)
 	loc.append(message{
 		val: newVal, tid: t.id, event: ev.ID,
@@ -258,7 +259,7 @@ func (e *Engine) execCAS(t *Thread, req request) (memmodel.Value, bool) {
 			// Weak CAS: the strategy may direct the operation at a
 			// non-maximal write, failing spuriously even though the
 			// exchange could have succeeded.
-			cands := e.readCandidates(t, req.loc)
+			cands := e.readCandidates(t, req.loc, false, 0)
 			if len(cands) > 1 {
 				choice := e.strat.PickRead(ReadContext{
 					TID: t.id, Index: t.nextIndex, Loc: req.loc,
@@ -324,9 +325,10 @@ func (e *Engine) execFence(t *Thread, ord memmodel.Order) {
 	}
 	if ord.IsRelease() {
 		// Snapshot for later relaxed writes (lines 24-25: the thread's own
-		// view does not change).
-		t.relFence = t.cur.Clone()
-		t.relFenceVC = t.curVC.Clone()
+		// view does not change). CopyFrom reuses the snapshot's backing
+		// array across fences.
+		t.relFence.CopyFrom(t.cur)
+		t.relFenceVC.CopyFrom(t.curVC)
 	}
 	e.finishEvent(t, ev)
 }
@@ -339,21 +341,20 @@ func (e *Engine) execAlloc(t *Thread, req request) memmodel.Loc {
 			init = req.allocInit[i]
 		}
 		l := memmodel.Loc(len(e.locs) + 1)
-		name := fmt.Sprintf("%s#%d[%d]", req.allocName, base, i)
-		e.locNames[l] = name
 
 		ev, clock := e.beginEvent(t, memmodel.Label{
 			Kind: memmodel.KindWrite, Order: memmodel.NonAtomic, Loc: l, WVal: init,
 		})
 		ev.Stamp = 1
-		var bag memmodel.View
+		bag := e.viewArena.New(int(l))
 		bag.Set(l, 1)
-		e.locs = append(e.locs, location{
-			name: name,
-			mo: []message{{
-				stamp: 1, val: init, tid: t.id, event: ev.ID,
-				bag: bag, relVC: t.relFenceVC.Clone(), nonAtomic: true,
-			}},
+		loc := e.pushLoc()
+		loc.allocName = req.allocName
+		loc.allocBase = base
+		loc.allocIdx = i
+		loc.mo = append(loc.mo, message{
+			stamp: 1, val: init, tid: t.id, event: ev.ID,
+			bag: bag, relVC: e.vcArena.Clone(t.relFenceVC), nonAtomic: true,
 		})
 		t.cur.Set(l, 1)
 		e.raceCheck(t, ev.ID, l, true, true, clock)
@@ -377,7 +378,7 @@ func (e *Engine) execSpawn(t *Thread, fn ThreadFunc) *ThreadHandle {
 }
 
 func (e *Engine) execJoin(t *Thread, child memmodel.ThreadID) {
-	c := e.threads[child]
+	c := e.thread(child)
 	if c == nil {
 		panic(fmt.Sprintf("pctwm: join of unknown thread %d", child))
 	}

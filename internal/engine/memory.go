@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"pctwm/internal/memmodel"
 	"pctwm/internal/vclock"
 )
@@ -18,9 +20,11 @@ type message struct {
 	// bag is the view the write publishes: the full thread view for
 	// release writes, {loc: stamp} ∪ relFence view for relaxed writes,
 	// additionally joined with the read-message bag for RMWs (release
-	// sequences through rf+).
+	// sequences through rf+). Its backing array is owned by this message
+	// and returned to the view arena when the run's state is released.
 	bag memmodel.View
-	// relVC is the happens-before clock the write publishes along sw.
+	// relVC is the happens-before clock the write publishes along sw. Its
+	// backing array is owned by this message (see bag).
 	relVC vclock.VC
 	// nonAtomic marks plain (na) writes for the race detector.
 	nonAtomic bool
@@ -30,9 +34,28 @@ type message struct {
 // modification order. mo[i] has stamp i+1; mo is append-only, so
 // modification order coincides with write execution order (as in
 // C11Tester).
+//
+// Display names are lazy: statically declared locations carry their
+// declared name, dynamically allocated ones only the Alloc call's
+// parameters — the "name#base[idx]" string is formatted on demand
+// (diagnostics, recordings), never on the allocation hot path.
 type location struct {
-	name string
-	mo   []message
+	name string // static declaration name; "" for dynamic allocations
+	// dynamic-allocation naming parameters (valid when name == "")
+	allocName string
+	allocBase memmodel.Loc
+	allocIdx  int
+
+	mo []message
+}
+
+// displayName renders the location's diagnostic name; self is the
+// location's own handle (used for dynamic allocations).
+func (l *location) displayName(self memmodel.Loc) string {
+	if l.name != "" {
+		return l.name
+	}
+	return fmt.Sprintf("%s#%d[%d]", l.allocName, l.allocBase, l.allocIdx)
 }
 
 func (l *location) maximal() *message { return &l.mo[len(l.mo)-1] }

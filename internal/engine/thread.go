@@ -35,9 +35,13 @@ type Thread struct {
 	id   memmodel.ThreadID
 	name string
 
-	// scheduler protocol
-	req    request
-	resume chan response
+	// scheduler protocol: a parked thread blocks on wake until a baton
+	// holder grants its pending request; firstPark marks the one park in a
+	// thread's life that must go through the starter (parkCh) instead of
+	// driving the scheduler itself.
+	req       request
+	wake      chan response
+	firstPark bool
 
 	// memory-model state (paper §5.1 / Algorithm 2)
 	cur      memmodel.View // thread view: latest observed write per location
@@ -66,18 +70,61 @@ func (t *Thread) ID() memmodel.ThreadID { return t.id }
 // Name returns the thread's diagnostic name.
 func (t *Thread) Name() string { return t.name }
 
+// recycle readies a thread shell from a previous run for reuse. The wake
+// channel and the views'/clocks' backing arrays are retained.
+func (t *Thread) recycle() {
+	t.req = request{}
+	t.cur.Reset()
+	t.acqStash.Reset()
+	t.relFence.Reset()
+	t.curVC.Reset()
+	t.acqStashVC.Reset()
+	t.relFenceVC.Reset()
+	t.nextIndex = 0
+	t.finished = false
+	t.started = false
+	t.resetSpin()
+}
+
 // post parks the thread on a request and returns the engine's response.
+//
+// The first park of a thread's life signals the starter (which holds the
+// baton and is blocked in waitForPark) and waits to be granted. Every
+// later park means this thread was the last one granted, so it still holds
+// the baton: it drives the next scheduling decision itself. If the
+// strategy grants this thread again the request is applied without any
+// goroutine switch; otherwise the baton (and the granted thread's
+// response) is handed directly to the chosen thread.
 func (t *Thread) post(r request) response {
+	e := t.eng
 	t.req = r
-	select {
-	case t.eng.parkCh <- t:
-	case <-t.eng.killed:
-		panic(killedError{})
+	if t.firstPark {
+		t.firstPark = false
+		select {
+		case e.parkCh <- t:
+		case <-e.killed:
+			panic(killedError{})
+		}
+	} else {
+		t2, res, ended := e.driveStep()
+		if ended {
+			e.signalEnd()
+			<-e.killed
+			panic(killedError{})
+		}
+		if t2 == t {
+			return res
+		}
+		select {
+		case t2.wake <- res:
+		case <-e.killed:
+			panic(killedError{})
+		}
 	}
 	select {
-	case res := <-t.resume:
+	case res := <-t.wake:
 		return res
-	case <-t.eng.killed:
+	case <-e.killed:
 		panic(killedError{})
 	}
 }

@@ -2,6 +2,10 @@
 // PCT/PCTWM input parameters (the program event count k and communication
 // event count kcom), and aggregates hit rates and timing — the machinery
 // behind the paper's evaluation (§6).
+//
+// Trial loops are built on engine.Runner: every worker owns one pooled
+// Runner and one strategy value (Strategy.Begin resets per run), so a
+// steady-state loop performs near-zero allocations per trial.
 package harness
 
 import (
@@ -34,9 +38,11 @@ func EstimateParams(prog *engine.Program, runs int, seed int64, opts engine.Opti
 	if runs < 1 {
 		runs = 1
 	}
+	r := engine.NewRunner(prog, opts)
+	strat := core.NewRandom()
 	var sumK, sumKCom int
 	for i := 0; i < runs; i++ {
-		o := engine.Run(prog, core.NewRandom(), seed+int64(i), opts)
+		o := r.Run(strat, seed+int64(i))
 		sumK += o.Events
 		sumKCom += o.CommEvents
 	}
@@ -59,8 +65,13 @@ type TrialResult struct {
 	Deadlock int
 	// TotalEvents across all runs, for averages.
 	TotalEvents int
-	// Elapsed is the summed wall-clock time of the runs.
+	// Elapsed is the summed per-run execution time. With parallel workers
+	// this is aggregate CPU time across all workers, not wall-clock time;
+	// use Wall for the batch's real duration.
 	Elapsed time.Duration
+	// Wall is the wall-clock duration of the whole batch (equal to Elapsed
+	// up to loop overhead when the batch ran serially).
+	Wall time.Duration
 }
 
 // Rate returns the bug hitting rate in percent (the paper's metric).
@@ -85,7 +96,8 @@ func (r TrialResult) AvgEvents() float64 {
 	return float64(r.TotalEvents) / float64(r.Runs)
 }
 
-// AvgTime returns the mean wall-clock time per run.
+// AvgTime returns the mean execution (CPU) time per run. This is a per-run
+// cost metric; it does not shrink when the batch runs on more workers.
 func (r TrialResult) AvgTime() time.Duration {
 	if r.Runs == 0 {
 		return 0
@@ -94,31 +106,19 @@ func (r TrialResult) AvgTime() time.Duration {
 }
 
 func (r TrialResult) String() string {
-	return fmt.Sprintf("hits %d/%d (%.1f%%), avg %.0f events, %v/run",
-		r.Hits, r.Runs, r.Rate(), r.AvgEvents(), r.AvgTime().Round(time.Microsecond))
+	return fmt.Sprintf("hits %d/%d (%.1f%%), avg %.0f events, %v cpu/run, %v wall",
+		r.Hits, r.Runs, r.Rate(), r.AvgEvents(),
+		r.AvgTime().Round(time.Microsecond), r.Wall.Round(time.Millisecond))
 }
 
-// RunTrials executes prog for runs rounds, one fresh strategy per round,
-// counting rounds whose outcome detect() flags as a bug hit.
+// RunTrials executes prog for runs rounds on one pooled Runner, counting
+// rounds whose outcome detect() flags as a bug hit. newStrategy is invoked
+// once; the returned strategy is reset by its Begin on every round (the
+// engine.Strategy contract). Round i runs with seed+i, so results are
+// reproducible and identical to RunTrialsPooled with any worker count.
 func RunTrials(prog *engine.Program, detect func(*engine.Outcome) bool,
 	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options) TrialResult {
-	var res TrialResult
-	res.Runs = runs
-	for i := 0; i < runs; i++ {
-		o := engine.Run(prog, newStrategy(), seed+int64(i), opts)
-		res.TotalEvents += o.Events
-		res.Elapsed += o.Duration
-		if o.Aborted {
-			res.Aborted++
-		}
-		if o.Deadlocked {
-			res.Deadlock++
-		}
-		if detect(o) {
-			res.Hits++
-		}
-	}
-	return res
+	return RunTrialsPooled(prog, detect, newStrategy, runs, seed, opts, 1)
 }
 
 // StrategyFactory builds a fresh strategy per run from the measured
@@ -148,22 +148,23 @@ func PCTWMFactory(d, h int) StrategyFactory {
 	return func(est Estimate) engine.Strategy { return core.NewPCTWM(d, h, est.KCom) }
 }
 
-// BenchTrials profiles the benchmark, then runs trials with the factory.
-func BenchTrials(b *benchprog.Benchmark, factory StrategyFactory, runs int, seed int64, extraWrites int) (TrialResult, Estimate) {
+// BenchTrials profiles the benchmark, then runs trials with the factory
+// spread over the given number of workers (0 = GOMAXPROCS, 1 = serial).
+func BenchTrials(b *benchprog.Benchmark, factory StrategyFactory, runs int, seed int64, extraWrites, workers int) (TrialResult, Estimate) {
 	prog := b.Program(extraWrites)
 	opts := b.Options()
 	est := EstimateParams(prog, 20, seed^0x5eed, opts)
-	res := RunTrials(prog, b.Detect, func() engine.Strategy { return factory(est) }, runs, seed, opts)
+	res := RunTrialsPooled(prog, b.Detect, func() engine.Strategy { return factory(est) }, runs, seed, opts, workers)
 	return res, est
 }
 
 // BestOverH runs PCTWM for h = 1..maxH and returns the best rate together
 // with the h that achieved it (Table 2 reports "Rate (h:x)").
-func BestOverH(b *benchprog.Benchmark, d, maxH, runs int, seed int64) (TrialResult, int) {
+func BestOverH(b *benchprog.Benchmark, d, maxH, runs int, seed int64, workers int) (TrialResult, int) {
 	var best TrialResult
 	bestH := 1
 	for h := 1; h <= maxH; h++ {
-		res, _ := BenchTrials(b, PCTWMFactory(d, h), runs, seed+int64(1000*h), 0)
+		res, _ := BenchTrials(b, PCTWMFactory(d, h), runs, seed+int64(1000*h), 0, workers)
 		if res.Rate() > best.Rate() || (h == 1 && best.Runs == 0) {
 			best, bestH = res, h
 		}

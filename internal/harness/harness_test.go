@@ -88,7 +88,7 @@ func TestBestOverH(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, h := BestOverH(b, b.Depth, 2, 60, 5)
+	res, h := BestOverH(b, b.Depth, 2, 60, 5, 1)
 	if h < 1 || h > 2 {
 		t.Fatalf("best h out of range: %d", h)
 	}

@@ -3,67 +3,114 @@ package harness
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"pctwm/internal/engine"
 )
 
-// RunTrialsParallel is RunTrials with the rounds spread over worker
-// goroutines. Each round runs in its own engine over the shared immutable
-// program, so the rounds are independent; results are aggregated exactly
-// as in the serial version (per-round Duration sums are CPU time across
-// workers, not wall-clock). workers ≤ 0 selects GOMAXPROCS.
-func RunTrialsParallel(prog *engine.Program, detect func(*engine.Outcome) bool,
-	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options, workers int) TrialResult {
+// ResolveWorkers maps a -workers style flag value to an actual worker
+// count: 0 (or negative) selects GOMAXPROCS, and the count is capped at
+// the number of runs so no worker sits idle from the start.
+func ResolveWorkers(workers, runs int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > runs {
 		workers = runs
 	}
-	if workers <= 1 {
-		return RunTrials(prog, detect, newStrategy, runs, seed, opts)
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// RunTrialsPooled is the streaming trial loop behind RunTrials and the
+// -workers flags: runs rounds are claimed from a shared atomic counter by
+// `workers` goroutines, each owning one pooled engine.Runner and one
+// strategy value from newStrategy (Strategy.Begin resets per round).
+// Aggregation is lock-free: every worker fills its own TrialResult, merged
+// once after the pool drains.
+//
+// Round i always runs with seed+i, independent of which worker claims it,
+// so hit counts and event totals are identical for every worker count —
+// only Wall changes. Elapsed sums per-run execution time across workers
+// (aggregate CPU time); Wall is the batch's wall-clock duration.
+func RunTrialsPooled(prog *engine.Program, detect func(*engine.Outcome) bool,
+	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options, workers int) TrialResult {
+	var res TrialResult
+	res.Runs = runs
+	if runs <= 0 {
+		return res
+	}
+	workers = ResolveWorkers(workers, runs)
+
+	start := time.Now()
+	if workers == 1 {
+		res = runWorker(prog, detect, newStrategy(), runs, seed, opts, nil)
+		res.Runs = runs
+		res.Wall = time.Since(start)
+		return res
 	}
 
 	var (
-		mu  sync.Mutex
-		res TrialResult
-		wg  sync.WaitGroup
+		next   atomic.Int64
+		wg     sync.WaitGroup
+		locals = make([]TrialResult, workers)
 	)
-	res.Runs = runs
-	next := make(chan int, runs)
-	for i := 0; i < runs; i++ {
-		next <- i
-	}
-	close(next)
-
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			var local TrialResult
-			for i := range next {
-				o := engine.Run(prog, newStrategy(), seed+int64(i), opts)
-				local.TotalEvents += o.Events
-				local.Elapsed += o.Duration
-				if o.Aborted {
-					local.Aborted++
-				}
-				if o.Deadlocked {
-					local.Deadlock++
-				}
-				if detect(o) {
-					local.Hits++
-				}
-			}
-			mu.Lock()
-			res.Hits += local.Hits
-			res.Aborted += local.Aborted
-			res.Deadlock += local.Deadlock
-			res.TotalEvents += local.TotalEvents
-			res.Elapsed += local.Elapsed
-			mu.Unlock()
-		}()
+			locals[w] = runWorker(prog, detect, newStrategy(), runs, seed, opts, &next)
+		}(w)
 	}
 	wg.Wait()
+	for _, l := range locals {
+		res.Hits += l.Hits
+		res.Aborted += l.Aborted
+		res.Deadlock += l.Deadlock
+		res.TotalEvents += l.TotalEvents
+		res.Elapsed += l.Elapsed
+	}
+	res.Wall = time.Since(start)
 	return res
+}
+
+// runWorker drains trial indices — sequentially when next is nil, from the
+// shared counter otherwise — on one pooled Runner.
+func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
+	strat engine.Strategy, runs int, seed int64, opts engine.Options, next *atomic.Int64) TrialResult {
+	var local TrialResult
+	r := engine.NewRunner(prog, opts)
+	for i := 0; ; i++ {
+		if next != nil {
+			i = int(next.Add(1)) - 1
+		}
+		if i >= runs {
+			break
+		}
+		o := r.Run(strat, seed+int64(i))
+		local.TotalEvents += o.Events
+		local.Elapsed += o.Duration
+		if o.Aborted {
+			local.Aborted++
+		}
+		if o.Deadlocked {
+			local.Deadlock++
+		}
+		if detect(o) {
+			local.Hits++
+		}
+	}
+	return local
+}
+
+// RunTrialsParallel is RunTrialsPooled under its historical name; workers
+// ≤ 0 selects GOMAXPROCS.
+//
+// Deprecated: use RunTrialsPooled (same behavior) or RunTrials (serial).
+func RunTrialsParallel(prog *engine.Program, detect func(*engine.Outcome) bool,
+	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options, workers int) TrialResult {
+	return RunTrialsPooled(prog, detect, newStrategy, runs, seed, opts, workers)
 }

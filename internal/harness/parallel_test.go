@@ -41,3 +41,47 @@ func TestParallelSingleWorkerFallback(t *testing.T) {
 		t.Fatalf("runs %d", res.Runs)
 	}
 }
+
+// TestPooledWorkerCountsAgree: every worker count visits the same seeds,
+// so the aggregate counters are identical; this test doubles as the
+// `go test -race` exercise of the streaming pool on two structurally
+// different benchmark programs.
+func TestPooledWorkerCountsAgree(t *testing.T) {
+	for _, name := range []string{"rwlock", "msqueue"} {
+		t.Run(name, func(t *testing.T) {
+			b, err := benchprog.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog := b.Program(0)
+			opts := b.Options()
+			newStrategy := func() engine.Strategy { return core.NewPCTWM(2, 1, 25) }
+
+			ref := RunTrialsPooled(prog, b.Detect, newStrategy, 120, 11, opts, 1)
+			for _, workers := range []int{2, 3, 8, 0} {
+				got := RunTrialsPooled(prog, b.Detect, newStrategy, 120, 11, opts, workers)
+				if got.Hits != ref.Hits || got.TotalEvents != ref.TotalEvents ||
+					got.Aborted != ref.Aborted || got.Deadlock != ref.Deadlock {
+					t.Fatalf("workers=%d diverges from serial: %+v vs %+v", workers, got, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestTrialResultWall: Wall measures the batch, Elapsed sums per-run time.
+func TestTrialResultWall(t *testing.T) {
+	b, _ := benchprog.ByName("dekker")
+	prog := b.Program(0)
+	res := RunTrials(prog, b.Detect, func() engine.Strategy { return core.NewRandom() },
+		50, 1, b.Options())
+	if res.Wall <= 0 {
+		t.Fatalf("wall time not measured: %+v", res)
+	}
+	if res.Elapsed <= 0 {
+		t.Fatalf("per-run time not summed: %+v", res)
+	}
+	if res.Wall < res.Elapsed/2 {
+		t.Fatalf("serial wall %v implausibly below summed run time %v", res.Wall, res.Elapsed)
+	}
+}

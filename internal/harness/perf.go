@@ -35,7 +35,9 @@ type PerfResult struct {
 }
 
 // MeasureApp runs the application `runs` times under the factory's
-// strategy and aggregates timing (Table 4 averages over 10 runs).
+// strategy and aggregates timing (Table 4 averages over 10 runs). All runs
+// share one pooled Runner and one strategy value, so the measurement
+// reflects steady-state per-run cost rather than setup cost.
 func MeasureApp(a *apps.App, factory StrategyFactory, runs int, seed int64, cores int) PerfResult {
 	prog := a.Program()
 	opts := a.Options()
@@ -45,15 +47,14 @@ func MeasureApp(a *apps.App, factory StrategyFactory, runs int, seed int64, core
 	defer runtime.GOMAXPROCS(prev)
 
 	res := PerfResult{App: a.Name, Cores: cores, Runs: runs}
+	r := engine.NewRunner(prog, opts)
+	strat := factory(est)
+	res.Strategy = strat.Name()
 	samples := make([]float64, 0, runs)
 	var total time.Duration
 	var totalEvents int
 	for i := 0; i < runs; i++ {
-		s := factory(est)
-		if res.Strategy == "" {
-			res.Strategy = s.Name()
-		}
-		o := engine.Run(prog, s, seed+int64(i), opts)
+		o := r.Run(strat, seed+int64(i))
 		total += o.Duration
 		totalEvents += o.Events
 		samples = append(samples, o.Duration.Seconds())
@@ -73,4 +74,65 @@ func MeasureApp(a *apps.App, factory StrategyFactory, runs int, seed int64, core
 	}
 	res.RSDPercent = RSD(samples)
 	return res
+}
+
+// EngineSnapshot is a machine-readable steady-state performance sample of
+// the trial loop for one benchmark/strategy pair (emitted by
+// `pctwm-bench -json` and committed as BENCH_engine.json).
+type EngineSnapshot struct {
+	Benchmark  string  `json:"benchmark"`
+	Strategy   string  `json:"strategy"`
+	Runs       int     `json:"runs"`
+	NsPerRun   float64 `json:"ns_per_run"`
+	NsPerEvent float64 `json:"ns_per_event"`
+	RunsPerSec float64 `json:"runs_per_sec"`
+	// AllocsPerRun and BytesPerRun come from runtime.MemStats deltas over
+	// the measured loop (all goroutines; run single-threaded for clean
+	// numbers).
+	AllocsPerRun float64 `json:"allocs_per_run"`
+	BytesPerRun  float64 `json:"bytes_per_run"`
+}
+
+// MeasureEngine runs a steady-state serial trial loop on one pooled Runner
+// and samples wall-clock and allocation cost per run. A warmup fraction
+// (10% of runs, at least one) fills the Runner's pools before measurement.
+func MeasureEngine(name string, prog *engine.Program, strat engine.Strategy, runs int, seed int64, opts engine.Options) EngineSnapshot {
+	if runs < 1 {
+		runs = 1
+	}
+	r := engine.NewRunner(prog, opts)
+	warmup := runs / 10
+	if warmup < 1 {
+		warmup = 1
+	}
+	for i := 0; i < warmup; i++ {
+		r.Run(strat, seed+int64(i))
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var events int
+	for i := 0; i < runs; i++ {
+		events += r.Run(strat, seed+int64(i)).Events
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	snap := EngineSnapshot{
+		Benchmark:    name,
+		Strategy:     strat.Name(),
+		Runs:         runs,
+		NsPerRun:     float64(elapsed.Nanoseconds()) / float64(runs),
+		AllocsPerRun: float64(after.Mallocs-before.Mallocs) / float64(runs),
+		BytesPerRun:  float64(after.TotalAlloc-before.TotalAlloc) / float64(runs),
+	}
+	if events > 0 {
+		snap.NsPerEvent = float64(elapsed.Nanoseconds()) / float64(events)
+	}
+	if elapsed > 0 {
+		snap.RunsPerSec = float64(runs) / elapsed.Seconds()
+	}
+	return snap
 }

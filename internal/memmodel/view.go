@@ -2,7 +2,6 @@ package memmodel
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -16,29 +15,67 @@ type TS int32
 // paper's view(x) = maximal_mo(E_x): since mo is totally ordered per
 // location and timestamps follow mo, one timestamp per location suffices.
 //
+// Views are stored densely: entry i holds the timestamp of Loc(i+1).
+// Locations are small integers handed out contiguously by the engine, so a
+// dense slice makes Join/Clone straight memory sweeps instead of map
+// operations — the view machine of Algorithm 2 clones a view per write
+// event, which made map-backed views the engine's dominant allocation.
+//
 // The zero value is the empty view (only initialization writes, which have
 // timestamp 1 once a location exists; a missing entry means "no opinion",
 // i.e. floor 0).
 type View struct {
-	ts map[Loc]TS
+	ts []TS // ts[i] is the timestamp for Loc(i+1); trailing zeros implied
 }
 
 // NewView returns an empty view.
 func NewView() View { return View{} }
 
 // Get returns the timestamp the view holds for loc (0 if none).
-func (v View) Get(loc Loc) TS { return v.ts[loc] }
+func (v View) Get(loc Loc) TS {
+	if i := int(loc) - 1; i >= 0 && i < len(v.ts) {
+		return v.ts[i]
+	}
+	return 0
+}
+
+// grow extends the dense storage to cover n locations, zeroing any slack
+// reclaimed from a previous larger use of the backing array.
+func (v *View) grow(n int) {
+	if n <= len(v.ts) {
+		return
+	}
+	if n <= cap(v.ts) {
+		old := len(v.ts)
+		v.ts = v.ts[:n]
+		for i := old; i < n; i++ {
+			v.ts[i] = 0
+		}
+		return
+	}
+	nt := make([]TS, n)
+	copy(nt, v.ts)
+	v.ts = nt
+}
 
 // Set records timestamp t for loc if it advances the view. It implements
 // the single-location case of ⊔mo: view(x) ← max(view(x), t).
 func (v *View) Set(loc Loc, t TS) {
-	if t <= v.ts[loc] {
+	i := int(loc) - 1
+	if i < 0 {
 		return
 	}
-	if v.ts == nil {
-		v.ts = make(map[Loc]TS, 8)
+	if i < len(v.ts) {
+		if t > v.ts[i] {
+			v.ts[i] = t
+		}
+		return
 	}
-	v.ts[loc] = t
+	if t == 0 {
+		return
+	}
+	v.grow(i + 1)
+	v.ts[i] = t
 }
 
 // Join merges other into v on all locations (Definition 1: combining views
@@ -47,12 +84,10 @@ func (v *View) Join(other View) {
 	if len(other.ts) == 0 {
 		return
 	}
-	if v.ts == nil {
-		v.ts = make(map[Loc]TS, len(other.ts))
-	}
-	for loc, t := range other.ts {
-		if t > v.ts[loc] {
-			v.ts[loc] = t
+	v.grow(len(other.ts))
+	for i, t := range other.ts {
+		if t > v.ts[i] {
+			v.ts[i] = t
 		}
 	}
 }
@@ -60,32 +95,61 @@ func (v *View) Join(other View) {
 // JoinLoc merges only the entry for loc from other into v (the relaxed-read
 // case of Algorithm 2 line 16: the thread view is updated only at e.loc).
 func (v *View) JoinLoc(other View, loc Loc) {
-	if t := other.ts[loc]; t > v.ts[loc] {
+	if t := other.Get(loc); t > v.Get(loc) {
 		v.Set(loc, t)
 	}
 }
 
 // Clone returns an independent copy of the view. Clones are used as the
 // "bag" a write event carries (Algorithm 2 line 26: e.bag ← t.view).
+// Hot paths should prefer ViewArena.Clone, which recycles backing arrays.
 func (v View) Clone() View {
 	if len(v.ts) == 0 {
 		return View{}
 	}
-	c := make(map[Loc]TS, len(v.ts))
-	for loc, t := range v.ts {
-		c[loc] = t
-	}
+	c := make([]TS, len(v.ts))
+	copy(c, v.ts)
 	return View{ts: c}
 }
 
+// CopyFrom makes v an exact copy of other, reusing v's backing array when
+// it is large enough. It is the in-place counterpart of Clone for
+// long-lived views (thread views, fence snapshots) that are overwritten
+// many times per execution.
+func (v *View) CopyFrom(other View) {
+	n := len(other.ts)
+	if cap(v.ts) < n {
+		v.ts = make([]TS, n)
+	} else {
+		v.ts = v.ts[:n]
+	}
+	copy(v.ts, other.ts)
+}
+
+// Reset empties the view, keeping the backing array for reuse.
+func (v *View) Reset() {
+	v.ts = v.ts[:0]
+}
+
 // Len returns the number of locations the view has an opinion on.
-func (v View) Len() int { return len(v.ts) }
+func (v View) Len() int {
+	n := 0
+	for _, t := range v.ts {
+		if t != 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // Leq reports whether v ⊑ other pointwise (every entry of v is covered by
 // other). The empty view is ⊑ everything.
 func (v View) Leq(other View) bool {
-	for loc, t := range v.ts {
-		if t > other.ts[loc] {
+	for i, t := range v.ts {
+		if t == 0 {
+			continue
+		}
+		if i >= len(other.ts) || t > other.ts[i] {
 			return false
 		}
 	}
@@ -100,10 +164,11 @@ func (v View) Equal(other View) bool {
 // Locations returns the locations with non-zero entries in ascending order.
 func (v View) Locations() []Loc {
 	locs := make([]Loc, 0, len(v.ts))
-	for loc := range v.ts {
-		locs = append(locs, loc)
+	for i, t := range v.ts {
+		if t != 0 {
+			locs = append(locs, Loc(i+1))
+		}
 	}
-	sort.Slice(locs, func(i, j int) bool { return locs[i] < locs[j] })
 	return locs
 }
 
@@ -116,8 +181,73 @@ func (v View) String() string {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		fmt.Fprintf(&b, "(x%d,%d)", loc, v.ts[loc])
+		fmt.Fprintf(&b, "(x%d,%d)", loc, v.Get(loc))
 	}
 	b.WriteByte('}')
 	return b.String()
+}
+
+// ViewArena recycles view backing arrays through a plain freelist. The
+// engine clones a view ("bag") per write event; with an arena, a
+// steady-state execution loop reuses the arrays released by the previous
+// run instead of growing the heap — see Runner in internal/engine.
+//
+// The freelist is deliberately not synchronized: each engine owns one arena
+// and its accesses are serialized by the scheduler baton. (An earlier
+// sync.Pool-backed version allocated a slice-header box on every Release,
+// which dominated the steady-state allocation profile.) The zero value is
+// ready to use.
+type ViewArena struct {
+	free [][]TS
+}
+
+// get returns a zero-length slice with capacity ≥ n, preferring recycled
+// arrays. Undersized recycled arrays are dropped; replacement capacities
+// are rounded up so the freelist converges on arrays that fit every view of
+// the program after a short warmup.
+func (a *ViewArena) get(n int) []TS {
+	if l := len(a.free); l > 0 {
+		s := a.free[l-1]
+		a.free[l-1] = nil
+		a.free = a.free[:l-1]
+		if cap(s) >= n {
+			return s
+		}
+	}
+	c := 8
+	for c < n {
+		c *= 2
+	}
+	return make([]TS, 0, c)
+}
+
+// Clone returns an independent copy of v backed by a recycled array.
+func (a *ViewArena) Clone(v View) View {
+	n := len(v.ts)
+	if n == 0 {
+		return View{}
+	}
+	ts := a.get(n)[:n]
+	copy(ts, v.ts)
+	return View{ts: ts}
+}
+
+// New returns a zeroed view covering n locations, backed by a recycled
+// array.
+func (a *ViewArena) New(n int) View {
+	ts := a.get(n)[:n]
+	for i := range ts {
+		ts[i] = 0
+	}
+	return View{ts: ts}
+}
+
+// Release returns v's backing array to the arena and empties v. Only the
+// owner of the view's backing array (the holder of the last clone) may
+// release it; released views must not be read again.
+func (a *ViewArena) Release(v *View) {
+	if cap(v.ts) > 0 {
+		a.free = append(a.free, v.ts[:0])
+	}
+	v.ts = nil
 }

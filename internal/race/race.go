@@ -47,32 +47,57 @@ func accKind(a Access) string {
 	return "atomic " + k
 }
 
-// epoch is a single access by one thread at one clock value.
+// epoch is the latest access of one class by one thread at one clock value.
 type epoch struct {
+	tid       memmodel.ThreadID
 	clock     int32
 	event     memmodel.EventID
 	write     bool
 	nonAtomic bool
 }
 
-// locState keeps, per thread, the latest access of each class. Full
-// per-thread state (rather than FastTrack's adaptive epochs) is fine at
-// this scale and keeps both racing events reportable. Writes are tracked
+// locState keeps, per thread, the latest access of each class as small
+// dense slices scanned linearly (executions have tens of threads at most;
+// slices beat maps here both on the upsert and the scan, and iterate in a
+// deterministic order, so reported races are reproducible across runs).
+// Full per-thread state (rather than FastTrack's adaptive epochs) is fine
+// at this scale and keeps both racing events reportable. Writes are tracked
 // separately per atomicity class: a later atomic write must not mask an
 // earlier still-unsynchronized non-atomic write (e.g. plain object
 // initialization followed by atomic field updates).
 type locState struct {
-	lastNAWrite     map[memmodel.ThreadID]epoch
-	lastAtomicWrite map[memmodel.ThreadID]epoch
-	lastNARead      map[memmodel.ThreadID]epoch
-	lastAtomicRead  map[memmodel.ThreadID]epoch
+	naWrites     []epoch
+	atomicWrites []epoch
+	naReads      []epoch
+	atomicReads  []epoch
 }
 
-// Detector accumulates accesses and reports races.
+func (s *locState) reset() {
+	s.naWrites = s.naWrites[:0]
+	s.atomicWrites = s.atomicWrites[:0]
+	s.naReads = s.naReads[:0]
+	s.atomicReads = s.atomicReads[:0]
+}
+
+// upsert replaces the thread's entry in es or appends a new one.
+func upsert(es []epoch, e epoch) []epoch {
+	for i := range es {
+		if es[i].tid == e.tid {
+			es[i] = e
+			return es
+		}
+	}
+	return append(es, e)
+}
+
+// Detector accumulates accesses and reports races. A Detector is reusable:
+// Reset clears all access state while retaining the backing storage, so a
+// trial loop pays no per-run detector allocations after warmup.
 type Detector struct {
-	locs     map[memmodel.Loc]*locState
+	locs     []locState // index = Loc-1
 	locName  func(memmodel.Loc) string
 	races    []Race
+	found    []Race // scratch for OnAccess results
 	maxRaces int
 }
 
@@ -82,87 +107,98 @@ func NewDetector(locName func(memmodel.Loc) string, maxRaces int) *Detector {
 	if maxRaces <= 0 {
 		maxRaces = 16
 	}
-	return &Detector{
-		locs:     make(map[memmodel.Loc]*locState),
-		locName:  locName,
-		maxRaces: maxRaces,
-	}
+	return &Detector{locName: locName, maxRaces: maxRaces}
 }
 
-// Races returns the races detected so far.
+// Reset clears all recorded accesses and races for a fresh execution,
+// keeping backing storage for reuse. The locName function and race cap are
+// retained.
+func (d *Detector) Reset() {
+	for i := range d.locs {
+		d.locs[i].reset()
+	}
+	d.locs = d.locs[:0]
+	d.races = d.races[:0]
+}
+
+// Races returns the races detected so far. The slice aliases detector
+// state; callers that outlive the next Reset must copy it.
 func (d *Detector) Races() []Race { return d.races }
 
 func (d *Detector) state(loc memmodel.Loc) *locState {
-	s := d.locs[loc]
-	if s == nil {
-		s = &locState{
-			lastNAWrite:     make(map[memmodel.ThreadID]epoch),
-			lastAtomicWrite: make(map[memmodel.ThreadID]epoch),
-			lastNARead:      make(map[memmodel.ThreadID]epoch),
-			lastAtomicRead:  make(map[memmodel.ThreadID]epoch),
+	i := int(loc) - 1
+	for len(d.locs) <= i {
+		if len(d.locs) < cap(d.locs) {
+			// Reuse the truncated slot (its inner slices were reset).
+			d.locs = d.locs[:len(d.locs)+1]
+		} else {
+			d.locs = append(d.locs, locState{})
 		}
-		d.locs[loc] = s
 	}
-	return s
+	return &d.locs[i]
+}
+
+// check scans prior accesses for conflicts with the current access and
+// appends any races to d.found.
+func (d *Detector) check(prior []epoch, priorIsWrite bool, loc memmodel.Loc, cur Access, vc vclock.VC) {
+	for i := range prior {
+		pe := &prior[i]
+		if pe.tid == cur.TID {
+			continue // same-thread accesses are po-ordered
+		}
+		// Conflict requires one write and one non-atomic access.
+		if !cur.Write && !priorIsWrite {
+			continue
+		}
+		if !cur.NonAtomic && !pe.nonAtomic {
+			continue
+		}
+		if vclock.HappensBefore(int(pe.tid), pe.clock, vc) {
+			continue
+		}
+		d.found = append(d.found, Race{
+			Loc:     loc,
+			LocName: d.locName(loc),
+			Prior:   Access{TID: pe.tid, Event: pe.event, Write: priorIsWrite, NonAtomic: pe.nonAtomic},
+			Current: cur,
+		})
+	}
 }
 
 // OnAccess records an access and returns any new races it exposes. vc is
 // the accessing thread's happens-before clock at the access (its own
-// component already ticked for this event).
+// component already ticked for this event). The returned slice is scratch:
+// it is only valid until the next OnAccess call.
 func (d *Detector) OnAccess(tid memmodel.ThreadID, ev memmodel.EventID, loc memmodel.Loc, write, nonAtomic bool, clock int32, vc vclock.VC) []Race {
 	s := d.state(loc)
 	cur := Access{TID: tid, Event: ev, Write: write, NonAtomic: nonAtomic}
-	var found []Race
+	d.found = d.found[:0]
 
-	check := func(prior map[memmodel.ThreadID]epoch, priorIsWrite bool) {
-		for ptid, pe := range prior {
-			if ptid == tid {
-				continue // same-thread accesses are po-ordered
-			}
-			// Conflict requires one write and one non-atomic access.
-			if !write && !priorIsWrite {
-				continue
-			}
-			if !nonAtomic && !pe.nonAtomic {
-				continue
-			}
-			if vclock.HappensBefore(int(ptid), pe.clock, vc) {
-				continue
-			}
-			found = append(found, Race{
-				Loc:     loc,
-				LocName: d.locName(loc),
-				Prior:   Access{TID: ptid, Event: pe.event, Write: priorIsWrite, NonAtomic: pe.nonAtomic},
-				Current: cur,
-			})
-		}
-	}
-
-	check(s.lastNAWrite, true)
-	check(s.lastAtomicWrite, true)
+	d.check(s.naWrites, true, loc, cur, vc)
+	d.check(s.atomicWrites, true, loc, cur, vc)
 	if write {
-		check(s.lastNARead, false)
-		check(s.lastAtomicRead, false)
+		d.check(s.naReads, false, loc, cur, vc)
+		d.check(s.atomicReads, false, loc, cur, vc)
 	}
 
-	e := epoch{clock: clock, event: ev, write: write, nonAtomic: nonAtomic}
+	e := epoch{tid: tid, clock: clock, event: ev, write: write, nonAtomic: nonAtomic}
 	switch {
 	case write && nonAtomic:
-		s.lastNAWrite[tid] = e
+		s.naWrites = upsert(s.naWrites, e)
 	case write:
-		s.lastAtomicWrite[tid] = e
+		s.atomicWrites = upsert(s.atomicWrites, e)
 	case nonAtomic:
-		s.lastNARead[tid] = e
+		s.naReads = upsert(s.naReads, e)
 	default:
-		s.lastAtomicRead[tid] = e
+		s.atomicReads = upsert(s.atomicReads, e)
 	}
 
-	if len(found) > 0 && len(d.races) < d.maxRaces {
+	if len(d.found) > 0 && len(d.races) < d.maxRaces {
 		room := d.maxRaces - len(d.races)
-		if len(found) < room {
-			room = len(found)
+		if len(d.found) < room {
+			room = len(d.found)
 		}
-		d.races = append(d.races, found[:room]...)
+		d.races = append(d.races, d.found[:room]...)
 	}
-	return found
+	return d.found
 }

@@ -16,16 +16,16 @@ func Figure5CSV(w io.Writer, cfg Config) error {
 		return err
 	}
 	for _, b := range benchprog.All() {
-		c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0)
+		c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0, cfg.Workers)
 		writeCSVRow(w, b.Name, "c11tester", c11)
 		var bestPCT, bestWM harness.TrialResult
 		for i := 0; i < 3; i++ {
 			d := maxInt(b.Depth+i, 1)
-			res, _ := harness.BenchTrials(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0)
+			res, _ := harness.BenchTrials(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0, cfg.Workers)
 			if res.Rate() > bestPCT.Rate() || bestPCT.Runs == 0 {
 				bestPCT = res
 			}
-			wm, _ := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i))
+			wm, _ := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i), cfg.Workers)
 			if wm.Rate() > bestWM.Rate() || bestWM.Runs == 0 {
 				bestWM = wm
 			}
@@ -49,9 +49,9 @@ func Figure6CSV(w io.Writer, cfg Config) error {
 			return err
 		}
 		for _, n := range f.sweep {
-			c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n)
-			pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n)
-			wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n)
+			c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n, cfg.Workers)
+			pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n, cfg.Workers)
+			wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n, cfg.Workers)
 			fmt.Fprintf(w, "%s,%d,c11tester,%.2f\n", b.Name, n, c11.Rate())
 			fmt.Fprintf(w, "%s,%d,pct,%.2f\n", b.Name, n, pct.Rate())
 			fmt.Fprintf(w, "%s,%d,pctwm,%.2f\n", b.Name, n, wm.Rate())

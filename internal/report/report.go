@@ -33,6 +33,10 @@ type Config struct {
 	MaxH int
 	// Seed makes the whole report deterministic.
 	Seed int64
+	// Workers spreads each trial batch over this many worker goroutines
+	// (0 = GOMAXPROCS, 1 = serial). Results are identical for every
+	// worker count; only wall-clock time changes.
+	Workers int
 }
 
 // Default returns the paper-sized configuration.
@@ -90,7 +94,7 @@ func Table2(w io.Writer, cfg Config) error {
 	for _, b := range benchprog.All() {
 		cells := make([]string, 3)
 		for i := 0; i < 3; i++ {
-			res, h := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(17*i))
+			res, h := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(17*i), cfg.Workers)
 			cells[i] = fmt.Sprintf("%.1f (h:%d)", res.Rate(), h)
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n", b.Name, b.Depth, cells[0], cells[1], cells[2])
@@ -113,7 +117,7 @@ func Table3(w io.Writer, cfg Config) error {
 		var est harness.Estimate
 		row := make([]string, 0, cfg.MaxH)
 		for h := 1; h <= cfg.MaxH; h++ {
-			res, e := harness.BenchTrials(b, harness.PCTWMFactory(b.Table3Depth, h), cfg.Runs, cfg.Seed+int64(31*h), 0)
+			res, e := harness.BenchTrials(b, harness.PCTWMFactory(b.Table3Depth, h), cfg.Runs, cfg.Seed+int64(31*h), 0, cfg.Workers)
 			est = e
 			row = append(row, fmt.Sprintf("%.1f", res.Rate()))
 		}
@@ -169,7 +173,7 @@ func Figure5(w io.Writer, cfg Config) error {
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Benchmark\tC11Tester\tPCT\tPCTWM\tPCTWM 95% CI")
 	for _, b := range benchprog.All() {
-		c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0)
+		c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0, cfg.Workers)
 		bestPCT := 0.0
 		var bestWM harness.TrialResult
 		for i := 0; i < 3; i++ {
@@ -177,11 +181,11 @@ func Figure5(w io.Writer, cfg Config) error {
 			if d < 1 {
 				d = 1
 			}
-			res, _ := harness.BenchTrials(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0)
+			res, _ := harness.BenchTrials(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0, cfg.Workers)
 			if res.Rate() > bestPCT {
 				bestPCT = res.Rate()
 			}
-			wm, _ := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i))
+			wm, _ := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i), cfg.Workers)
 			if wm.Rate() > bestWM.Rate() || bestWM.Runs == 0 {
 				bestWM = wm
 			}
@@ -219,9 +223,9 @@ func Figure6(w io.Writer, cfg Config) error {
 		tw := newTab(w)
 		fmt.Fprintln(tw, "Writes\tC11Tester\tPCT\tPCTWM")
 		for _, n := range f.sweep {
-			c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n)
-			pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n)
-			wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n)
+			c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n, cfg.Workers)
+			pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n, cfg.Workers)
+			wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n, cfg.Workers)
 			fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\n", n, c11.Rate(), pct.Rate(), wm.Rate())
 		}
 		if err := tw.Flush(); err != nil {
@@ -287,10 +291,10 @@ func Baselines(w io.Writer, cfg Config) error {
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Benchmark\td\tC11Tester\tPOS\tPCT\tPCTWM\tPCTWM bound")
 	for _, b := range benchprog.All() {
-		c11, est := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0)
-		pos, _ := harness.BenchTrials(b, harness.POSFactory(), cfg.Runs, cfg.Seed+1, 0)
-		pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Runs, cfg.Seed+2, 0)
-		wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Runs, cfg.Seed+3, 0)
+		c11, est := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0, cfg.Workers)
+		pos, _ := harness.BenchTrials(b, harness.POSFactory(), cfg.Runs, cfg.Seed+1, 0, cfg.Workers)
+		pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Runs, cfg.Seed+2, 0, cfg.Workers)
+		wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Runs, cfg.Seed+3, 0, cfg.Workers)
 		bound := 100 * core.PCTWMBound(est.KCom, b.Depth, 1)
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
 			b.Name, b.Depth, c11.Rate(), pos.Rate(), pct.Rate(), wm.Rate(), bound)
@@ -315,7 +319,7 @@ func Ablations(w io.Writer, cfg Config) error {
 			factory := func(est harness.Estimate) engine.Strategy {
 				return core.NewAblatedPCTWM(b.Depth, 1, est.KCom, m)
 			}
-			res, _ := harness.BenchTrials(b, factory, cfg.Runs, cfg.Seed+int64(41*i), 0)
+			res, _ := harness.BenchTrials(b, factory, cfg.Runs, cfg.Seed+int64(41*i), 0, cfg.Workers)
 			row = append(row, fmt.Sprintf("%.1f", res.Rate()))
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%s\n", b.Name, b.Depth, strings.Join(row, "\t"))

@@ -31,6 +31,15 @@ func (v *VC) grow(t int) {
 	if t < len(v.c) {
 		return
 	}
+	if t < cap(v.c) {
+		// Reuse slack reclaimed by Reset, zeroing stale entries.
+		old := len(v.c)
+		v.c = v.c[:t+1]
+		for i := old; i <= t; i++ {
+			v.c[i] = 0
+		}
+		return
+	}
 	n := make([]int32, t+1)
 	copy(n, v.c)
 	v.c = n
@@ -61,7 +70,8 @@ func (v *VC) Join(other VC) {
 	}
 }
 
-// Clone returns an independent copy.
+// Clone returns an independent copy. Hot paths should prefer Arena.Clone,
+// which recycles backing arrays.
 func (v VC) Clone() VC {
 	if len(v.c) == 0 {
 		return VC{}
@@ -69,6 +79,23 @@ func (v VC) Clone() VC {
 	c := make([]int32, len(v.c))
 	copy(c, v.c)
 	return VC{c: c}
+}
+
+// CopyFrom makes v an exact copy of other, reusing v's backing array when
+// it is large enough.
+func (v *VC) CopyFrom(other VC) {
+	n := len(other.c)
+	if cap(v.c) < n {
+		v.c = make([]int32, n)
+	} else {
+		v.c = v.c[:n]
+	}
+	copy(v.c, other.c)
+}
+
+// Reset empties the clock, keeping the backing array for reuse.
+func (v *VC) Reset() {
+	v.c = v.c[:0]
 }
 
 // Leq reports v ⊑ other pointwise: v happens-before-or-equals other.
@@ -110,4 +137,55 @@ func (v VC) String() string {
 	}
 	b.WriteByte('>')
 	return b.String()
+}
+
+// Arena recycles vector-clock backing arrays through a plain freelist. The
+// engine publishes a clock per write event along synchronizes-with edges;
+// with an arena, repeated executions reuse the arrays released by the
+// previous run (see Runner in internal/engine).
+//
+// The freelist is unsynchronized on purpose: each engine owns one arena and
+// its accesses are serialized by the scheduler baton. The zero value is
+// ready to use.
+type Arena struct {
+	free [][]int32
+}
+
+// get returns a zero-length slice with capacity ≥ n, preferring recycled
+// arrays. Undersized recycled arrays are dropped; replacements are
+// allocated with rounded-up capacity so the freelist converges quickly.
+func (a *Arena) get(n int) []int32 {
+	if l := len(a.free); l > 0 {
+		s := a.free[l-1]
+		a.free[l-1] = nil
+		a.free = a.free[:l-1]
+		if cap(s) >= n {
+			return s
+		}
+	}
+	c := 8
+	for c < n {
+		c *= 2
+	}
+	return make([]int32, 0, c)
+}
+
+// Clone returns an independent copy of v backed by a recycled array.
+func (a *Arena) Clone(v VC) VC {
+	n := len(v.c)
+	if n == 0 {
+		return VC{}
+	}
+	c := a.get(n)[:n]
+	copy(c, v.c)
+	return VC{c: c}
+}
+
+// Release returns v's backing array to the arena and empties v. Released
+// clocks must not be read again.
+func (a *Arena) Release(v *VC) {
+	if cap(v.c) > 0 {
+		a.free = append(a.free, v.c[:0])
+	}
+	v.c = nil
 }

@@ -86,6 +86,9 @@ type (
 	Options = engine.Options
 	// Outcome summarizes one execution.
 	Outcome = engine.Outcome
+	// Runner executes one program repeatedly, pooling engine state across
+	// runs so a trial loop allocates near-zero memory per run.
+	Runner = engine.Runner
 	// Recording is the execution graph captured with Options.Record.
 	Recording = engine.Recording
 	// TrialResult aggregates repeated test rounds.
@@ -98,9 +101,18 @@ type (
 func NewProgram(name string) *Program { return engine.NewProgram(name) }
 
 // Run executes the program once under the strategy with the given seed.
+// Repeated-trial loops should prefer NewRunner (or RunTrials), which
+// reuses engine state between runs.
 func Run(p *Program, s Strategy, seed int64, opts Options) *Outcome {
 	return engine.Run(p, s, seed, opts)
 }
+
+// NewRunner prepares a reusable Runner for the program: location tables,
+// message storage, thread shells and scheduler channels survive between
+// Run calls. For a fixed strategy and seed, a run's Outcome is identical
+// whether the Runner is fresh or reused. A Runner is not safe for
+// concurrent use; give each worker goroutine its own.
+func NewRunner(p *Program, opts Options) *Runner { return engine.NewRunner(p, opts) }
 
 // NewRandomStrategy returns the C11Tester-style naive random strategy:
 // uniform thread choice, uniform reads-from choice.
@@ -125,10 +137,19 @@ func Estimate(p *Program, runs int, seed int64, opts Options) ProgramEstimate {
 	return harness.EstimateParams(p, runs, seed, opts)
 }
 
-// RunTrials executes the program for `runs` rounds with fresh strategies
-// from newStrategy and counts the rounds detect flags as bug hits.
+// RunTrials executes the program for `runs` rounds on one pooled Runner
+// and counts the rounds detect flags as bug hits. Round i runs with
+// seed+i; results are reproducible.
 func RunTrials(p *Program, detect func(*Outcome) bool, newStrategy func() Strategy, runs int, seed int64, opts Options) TrialResult {
 	return harness.RunTrials(p, detect, newStrategy, runs, seed, opts)
+}
+
+// RunTrialsWorkers is RunTrials with the rounds spread over `workers`
+// goroutines (0 = GOMAXPROCS, 1 = serial), each owning a pooled Runner.
+// Round i always runs with seed+i regardless of which worker claims it, so
+// hit counts are identical for every worker count.
+func RunTrialsWorkers(p *Program, detect func(*Outcome) bool, newStrategy func() Strategy, runs int, seed int64, opts Options, workers int) TrialResult {
+	return harness.RunTrialsPooled(p, detect, newStrategy, runs, seed, opts, workers)
 }
 
 // PCTBound returns PCT's theoretical lower bound 1/(t·k^(d−1)) on the
