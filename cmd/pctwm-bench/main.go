@@ -4,14 +4,19 @@
 //
 // Usage:
 //
-//	pctwm-bench [-runs N] [-s SEED] [-workers N] [-d D] [-y H] [-json]
+//	pctwm-bench [-runs N] [-s SEED] [-workers N] [-d D] [-y H] [-bench a,b]
+//	            [-json] [-compare FILE [-max-regress PCT]] [-engine.baton]
 //
 // -workers spreads each cell's rounds over N worker goroutines (0 =
 // GOMAXPROCS, 1 = serial; results are identical for every worker count).
 // -json switches to the machine-readable engine performance snapshot:
 // instead of the hit-rate matrix, it emits one steady-state measurement
 // (ns/run, runs/sec, allocs/run) per benchmark × strategy on stdout — the
-// format committed as BENCH_engine.json.
+// format committed as BENCH_engine.json. -compare measures the same
+// snapshot and diffs it benchstat-style against a committed baseline,
+// exiting 1 when any cell's ns_per_event regressed by more than
+// -max-regress percent — the CI bench gate. -engine.baton runs everything
+// on the legacy baton scheduler (escape hatch; same schedules, slower).
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -30,13 +36,16 @@ import (
 
 func main() {
 	var (
-		runs     = flag.Int("runs", 500, "rounds per strategy per benchmark")
-		seed     = flag.Int64("s", 1, "base random seed")
-		workers  = flag.Int("workers", 1, "worker goroutines per cell (0 = GOMAXPROCS, 1 = serial)")
-		depth    = flag.Int("d", -1, "bug depth override (-1 = each benchmark's design depth)")
-		history  = flag.Int("y", 1, "history depth for PCTWM")
-		jsonOut  = flag.Bool("json", false, "emit the engine performance snapshot as JSON instead of the hit-rate matrix")
-		benchSel = flag.String("bench", "", "comma-free single benchmark name (default: all)")
+		runs       = flag.Int("runs", 500, "rounds per strategy per benchmark")
+		seed       = flag.Int64("s", 1, "base random seed")
+		workers    = flag.Int("workers", 1, "worker goroutines per cell (0 = GOMAXPROCS, 1 = serial)")
+		depth      = flag.Int("d", -1, "bug depth override (-1 = each benchmark's design depth)")
+		history    = flag.Int("y", 1, "history depth for PCTWM")
+		jsonOut    = flag.Bool("json", false, "emit the engine performance snapshot as JSON instead of the hit-rate matrix")
+		benchSel   = flag.String("bench", "", "comma-separated benchmark names (default: all)")
+		compare    = flag.String("compare", "", "baseline snapshot JSON to diff the fresh measurement against (benchstat-style)")
+		maxRegress = flag.Float64("max-regress", 15, "with -compare: fail when ns_per_event regresses by more than this percent")
+		baton      = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
 	)
 	flag.Parse()
 
@@ -46,19 +55,30 @@ func main() {
 		}
 		return b.Depth
 	}
+	optsFor := func(b *benchprog.Benchmark) engine.Options {
+		opts := b.Options()
+		opts.Baton = *baton
+		return opts
+	}
 
 	benches := benchprog.All()
 	if *benchSel != "" {
-		b, err := benchprog.ByName(*benchSel)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "pctwm-bench: %v\n", err)
-			os.Exit(2)
+		benches = benches[:0]
+		for _, name := range strings.Split(*benchSel, ",") {
+			b, err := benchprog.ByName(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pctwm-bench: %v\n", err)
+				os.Exit(2)
+			}
+			benches = append(benches, b)
 		}
-		benches = []*benchprog.Benchmark{b}
 	}
 
+	if *compare != "" {
+		os.Exit(runCompare(benches, dFor, optsFor, *runs, *seed, *history, *compare, *maxRegress))
+	}
 	if *jsonOut {
-		emitSnapshot(benches, dFor, *runs, *seed, *history)
+		emitSnapshot(os.Stdout, benches, dFor, optsFor, *runs, *seed, *history)
 		return
 	}
 
@@ -90,7 +110,7 @@ func main() {
 	fmt.Fprintln(tw, header)
 	for _, b := range benches {
 		prog := b.Program(0)
-		opts := b.Options()
+		opts := optsFor(b)
 		est := harness.EstimateParams(prog, 20, *seed^0x5eed, opts)
 		row := fmt.Sprintf("%s\t%d", b.Name, dFor(b))
 		for i, c := range cols {
@@ -106,26 +126,118 @@ func main() {
 	fmt.Printf("(%d rounds per cell, %v total)\n", *runs, time.Since(start).Round(time.Millisecond))
 }
 
-// emitSnapshot measures the steady-state trial loop per benchmark for the
-// random baseline and PCTWM and writes the JSON array to stdout.
-func emitSnapshot(benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int, runs int, seed int64, history int) {
-	var snaps []harness.EngineSnapshot
+// snapshotSweeps is how many times the snapshot measurement sweeps the
+// whole benchmark × strategy matrix. Each cell keeps its fastest sweep:
+// the sweeps sample every cell at well-separated points in time, so an
+// ambient noise episode (frequency scaling, a co-tenant VM burning the
+// core) must span the entire measurement to bias a cell. The work is
+// deterministic per cell, so the minimum estimates the unperturbed cost.
+const snapshotSweeps = 3
+
+// measureSnapshot measures the steady-state trial loop per benchmark for
+// the random baseline and PCTWM. See snapshotSweeps for the noise model.
+func measureSnapshot(benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
+	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int) []harness.EngineSnapshot {
+	type cell struct {
+		prog *engine.Program
+		opts engine.Options
+		name string
+		mk   func() engine.Strategy
+	}
+	var cells []cell
 	for _, b := range benches {
+		b := b
 		prog := b.Program(0)
-		opts := b.Options()
+		opts := optsFor(b)
 		est := harness.EstimateParams(prog, 20, seed^0x5eed, opts)
-		strategies := []engine.Strategy{
-			core.NewRandom(),
-			core.NewPCTWM(dFor(b), history, est.KCom),
-		}
-		for _, s := range strategies {
-			snaps = append(snaps, harness.MeasureEngine(b.Name, prog, s, runs, seed, opts))
+		cells = append(cells,
+			cell{prog, opts, b.Name, func() engine.Strategy { return core.NewRandom() }},
+			cell{prog, opts, b.Name, func() engine.Strategy { return core.NewPCTWM(dFor(b), history, est.KCom) }},
+		)
+	}
+
+	snaps := make([]harness.EngineSnapshot, len(cells))
+	for sweep := 0; sweep < snapshotSweeps; sweep++ {
+		for i, c := range cells {
+			snap := harness.MeasureEngine(c.name, c.prog, c.mk(), runs, seed, c.opts)
+			if sweep == 0 || snap.NsPerRun < snaps[i].NsPerRun {
+				snaps[i] = snap
+			}
 		}
 	}
-	enc := json.NewEncoder(os.Stdout)
+	return snaps
+}
+
+// emitSnapshot writes the JSON snapshot array to w (the BENCH_engine.json
+// format).
+func emitSnapshot(w *os.File, benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
+	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int) {
+	snaps := measureSnapshot(benches, dFor, optsFor, runs, seed, history)
+	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(snaps); err != nil {
 		fmt.Fprintf(os.Stderr, "pctwm-bench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare measures a fresh snapshot of the selected benchmarks, diffs
+// it against the committed baseline and prints a benchstat-style table.
+// The returned exit code is 1 when any compared cell's ns_per_event
+// regressed by more than maxRegress percent.
+func runCompare(benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
+	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int,
+	baselinePath string, maxRegress float64) int {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: %v\n", err)
+		return 2
+	}
+	var baseline []harness.EngineSnapshot
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: %s: %v\n", baselinePath, err)
+		return 2
+	}
+
+	// Restrict the baseline to the benchmarks actually being measured so
+	// a partial run (the CI gate measures three) is not failed for cells
+	// it never sampled.
+	selected := make(map[string]bool, len(benches))
+	for _, b := range benches {
+		selected[b.Name] = true
+	}
+	kept := baseline[:0]
+	for _, s := range baseline {
+		if selected[s.Benchmark] {
+			kept = append(kept, s)
+		}
+	}
+
+	fresh := measureSnapshot(benches, dFor, optsFor, runs, seed, history)
+	deltas := harness.CompareSnapshots(kept, fresh)
+	if len(deltas) == 0 {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: no comparable cells between %s and the fresh measurement\n", baselinePath)
+		return 2
+	}
+
+	failed := 0
+	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tstrategy\told ns/event\tnew ns/event\tdelta")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regressed(maxRegress) {
+			mark = "  REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\t%+.1f%%%s\n",
+			d.Benchmark, d.Strategy, d.OldNsPerEvent, d.NewNsPerEvent, d.DeltaPercent, mark)
+	}
+	tw.Flush()
+	if failed > 0 {
+		fmt.Printf("FAIL: %d of %d cells regressed ns_per_event by more than %.0f%% vs %s\n",
+			failed, len(deltas), maxRegress, baselinePath)
+		return 1
+	}
+	fmt.Printf("ok: %d cells within %.0f%% of %s\n", len(deltas), maxRegress, baselinePath)
+	return 0
 }

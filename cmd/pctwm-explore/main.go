@@ -24,6 +24,7 @@ func main() {
 	var (
 		test  = flag.String("t", "", "litmus test name (empty = all)")
 		limit = flag.Int("limit", 2000000, "maximum executions to explore per test")
+		baton = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
 	)
 	flag.Parse()
 
@@ -47,7 +48,7 @@ func main() {
 
 	failures := 0
 	for _, lt := range suite {
-		counts, res := enumerate.Outcomes(lt.Program, engine.Options{}, *limit, func(o *engine.Outcome) string {
+		counts, res := enumerate.Outcomes(lt.Program, engine.Options{Baton: *baton}, *limit, func(o *engine.Outcome) string {
 			return lt.Outcome(o.FinalValues)
 		})
 		fmt.Printf("%s (%s)\n", lt.Name, lt.Description)

@@ -26,6 +26,7 @@ func main() {
 		depth    = flag.Int("d", 2, "bug depth (pct, pctwm)")
 		history  = flag.Int("y", 2, "history depth (pctwm)")
 		seed     = flag.Int64("s", 1, "base random seed")
+		baton    = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
 	)
 	flag.Parse()
 
@@ -37,7 +38,7 @@ func main() {
 
 	failures := 0
 	for _, t := range litmus.Suite() {
-		rep := t.Run(newStrategy, *runs, *seed)
+		rep := t.RunOpts(newStrategy, *runs, *seed, engine.Options{Baton: *baton})
 		status := "ok  "
 		switch {
 		case len(rep.Illegal) > 0:

@@ -32,6 +32,7 @@ func main() {
 		seed     = flag.Int64("s", 1, "base random seed")
 		extra    = flag.Int("extra", 0, "inserted relaxed writes (figure 6 instrumentation)")
 		verbose  = flag.Bool("v", false, "print the first detected failure")
+		baton    = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
 	)
 	flag.Parse()
 	if *bench == "" {
@@ -44,6 +45,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pctwm-run:", err)
 		os.Exit(2)
 	}
+	opts.Baton = *baton
 	d := *depth
 	if d < 0 {
 		d = designDepth
@@ -68,6 +70,7 @@ func main() {
 
 	if *verbose {
 		r := engine.NewRunner(prog(*extra), opts)
+		defer r.Close()
 		strat := factory(est)
 		for i := 0; i < *runs; i++ {
 			o := r.Run(strat, *seed+int64(i))

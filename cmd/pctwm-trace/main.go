@@ -31,6 +31,7 @@ func main() {
 		seed     = flag.Int64("s", 1, "base random seed")
 		rounds   = flag.Int("rounds", 2000, "maximum rounds to search for a failing execution")
 		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of text")
+		baton    = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pctwm-trace:", err)
 		os.Exit(2)
 	}
+	opts.Baton = *baton
 	d := *depth
 	if d < 0 {
 		d = designDepth

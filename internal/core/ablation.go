@@ -65,8 +65,8 @@ func (s *AblatedPCTWM) NextThread(enabled []engine.PendingOp) memmodel.ThreadID 
 		return s.PCTWM.NextThread(enabled)
 	}
 	for {
-		op := s.highestPriority(enabled)
-		st := s.thread(op.TID)
+		op := &enabled[s.highestPriority(enabled)]
+		st := &s.threads[op.TID-1]
 		if !op.IsCommunicationEvent() || op.Index <= st.lastCounted {
 			return op.TID
 		}

@@ -154,7 +154,7 @@ func TestPCTPriorities(t *testing.T) {
 	// Force the single change point (d=2 → 1 change point) to fire now.
 	s.changeAt = []int{1}
 	s.counter = 0
-	s.OnEvent(memmodel.Event{TID: 1, Label: memmodel.Label{Kind: memmodel.KindWrite, Order: memmodel.Relaxed, Loc: 1}})
+	s.OnEvent(&memmodel.Event{TID: 1, Label: memmodel.Label{Kind: memmodel.KindWrite, Order: memmodel.Relaxed, Loc: 1}})
 	if *s.priority(1) >= *s.priority(2) {
 		t.Fatalf("change point must demote the running thread: %v", s.prio)
 	}
@@ -170,7 +170,7 @@ func TestPCTIgnoresNonMemoryEvents(t *testing.T) {
 	s.Begin(engine.ProgramInfo{NumRootThreads: 1}, newRng())
 	s.OnThreadStart(1, 0)
 	for _, k := range []memmodel.Kind{memmodel.KindSpawn, memmodel.KindJoin, memmodel.KindAssert} {
-		s.OnEvent(memmodel.Event{TID: 1, Label: memmodel.Label{Kind: k}})
+		s.OnEvent(&memmodel.Event{TID: 1, Label: memmodel.Label{Kind: k}})
 	}
 	if s.counter != 0 {
 		t.Fatalf("counter advanced on non-memory events: %d", s.counter)

@@ -134,7 +134,7 @@ func (s *PCT) PickRead(rc engine.ReadContext) int {
 }
 
 // OnEvent advances the event counter and applies priority change points.
-func (s *PCT) OnEvent(ev memmodel.Event) {
+func (s *PCT) OnEvent(ev *memmodel.Event) {
 	if !ev.Label.Kind.IsMemoryAccess() && ev.Label.Kind != memmodel.KindFence {
 		return
 	}

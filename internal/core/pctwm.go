@@ -125,12 +125,16 @@ func (s *PCTWM) OnThreadStart(tid, _ memmodel.ThreadID) {
 	*st = pctwmThread{prio: s.highBase + s.rng.Intn(s.highN*2), lastCounted: -1, reorderIdx: -1}
 }
 
-func (s *PCTWM) highestPriority(enabled []engine.PendingOp) engine.PendingOp {
-	best := enabled[0]
-	bestPrio := s.thread(best.TID).prio
-	for _, op := range enabled[1:] {
-		if p := s.thread(op.TID).prio; p > bestPrio {
-			best, bestPrio = op, p
+// highestPriority returns the index in enabled of the operation whose
+// thread has the highest priority. Every enabled thread has been through
+// OnThreadStart, so its state slot exists and is indexed directly — no
+// grow checks or PendingOp copies on the per-step scan.
+func (s *PCTWM) highestPriority(enabled []engine.PendingOp) int {
+	best := 0
+	bestPrio := s.threads[enabled[0].TID-1].prio
+	for i := 1; i < len(enabled); i++ {
+		if p := s.threads[enabled[i].TID-1].prio; p > bestPrio {
+			best, bestPrio = i, p
 		}
 	}
 	return best
@@ -144,8 +148,8 @@ func (s *PCTWM) highestPriority(enabled []engine.PendingOp) engine.PendingOp {
 // executed when its thread surfaces again as the highest priority.
 func (s *PCTWM) NextThread(enabled []engine.PendingOp) memmodel.ThreadID {
 	for {
-		op := s.highestPriority(enabled)
-		st := s.thread(op.TID)
+		op := &enabled[s.highestPriority(enabled)]
+		st := &s.threads[op.TID-1]
 		if !op.IsCommunicationEvent() || op.Index <= st.lastCounted {
 			return op.TID
 		}
@@ -197,7 +201,7 @@ func (s *PCTWM) PickRead(rc engine.ReadContext) int {
 
 // OnEvent implements engine.Strategy. Communication events are counted at
 // scheduling time (NextThread), matching Algorithm 1's encounter order.
-func (s *PCTWM) OnEvent(memmodel.Event) {}
+func (s *PCTWM) OnEvent(*memmodel.Event) {}
 
 // OnSpin demotes a livelocked thread below every priority and lets its
 // next read pick any visible write (§6.2: "PCTWM applies a heuristic to

@@ -81,7 +81,7 @@ func (s *POS) PickRead(rc engine.ReadContext) int {
 }
 
 // OnEvent implements engine.Strategy.
-func (s *POS) OnEvent(memmodel.Event) {}
+func (s *POS) OnEvent(*memmodel.Event) {}
 
 // OnThreadStart implements engine.Strategy.
 func (s *POS) OnThreadStart(_, _ memmodel.ThreadID) {}

@@ -45,7 +45,7 @@ func (s *Random) PickRead(rc engine.ReadContext) int {
 }
 
 // OnEvent implements engine.Strategy.
-func (s *Random) OnEvent(memmodel.Event) {}
+func (s *Random) OnEvent(*memmodel.Event) {}
 
 // OnThreadStart implements engine.Strategy.
 func (s *Random) OnThreadStart(_, _ memmodel.ThreadID) {}

@@ -39,20 +39,48 @@ type Engine struct {
 	freeThreads []*Thread // recycled thread shells from earlier runs
 	nextTID     memmodel.ThreadID
 
-	// parkCh/doneCh serve thread startup (first park / immediate finish);
-	// both are reused across runs. killed is closed at teardown and must be
-	// fresh per run. endCh (buffered) carries the end-of-run signal from
-	// whichever goroutine holds the baton back to the host.
+	// Direct-handoff scheduler state (all accesses serialized by the
+	// baton). The yielding thread publishes the next grant in
+	// granted/grantRes and yields; the host trampoline (runDirect)
+	// resumes granted, which reads grantRes. endRun tells the trampoline
+	// the run is over; killing turns teardown resumes into unwinds;
+	// startFn carries the ThreadFunc into a coroutine being started.
+	granted  *Thread
+	grantRes response
+	endRun   bool
+	killing  bool
+	startFn  ThreadFunc
+
+	// Legacy baton scheduler state (Options.Baton). parkCh/doneCh serve
+	// thread startup (first park / immediate finish); both are reused
+	// across runs. killed is closed at teardown and must be fresh per
+	// run. endCh (buffered) carries the end-of-run signal from whichever
+	// goroutine holds the baton back to the host.
 	parkCh chan *Thread
 	doneCh chan threadDone
 	endCh  chan struct{}
 	killed chan struct{}
+
+	// wg counts the legacy baton path's per-run thread goroutines. The
+	// direct path needs no counter: coroutines stop synchronously.
 	wg     sync.WaitGroup
+	closed bool
 
 	// global SC synchronization state (paper §4 (SC) axiom, operationally:
 	// every SC event joins and then extends the global SC view).
 	scView memmodel.View
 	scVC   vclock.VC
+
+	// initView/initVC are the view and clock produced by the
+	// initialization writes; their backing arrays persist across runs.
+	initView memmodel.View
+	initVC   vclock.VC
+	// initWarm marks the static init state as cached from a previous run:
+	// the first len(prog.locs) location slots still hold their single init
+	// message (value, bag, release clock, name) and initView/initVC their
+	// final values, so initMemory skips the rebuild entirely (the state is
+	// identical for every run of the same program).
+	initWarm bool
 
 	nextEventID memmodel.EventID
 	outcome     Outcome
@@ -65,8 +93,20 @@ type Engine struct {
 	enabledBuf []PendingOp
 	candBuf    []ReadCandidate
 
+	// fvCache interns FinalValues maps per distinct final state (see
+	// finalValues); fvScratch is the per-run value-vector key buffer.
+	fvCache   []fvEntry
+	fvScratch []memmodel.Value
+
 	stepsSinceProgress int
 	stopped            bool
+}
+
+// fvEntry is one interned FinalValues map: the value vector (in static
+// location order) it was built from, and the shared map.
+type fvEntry struct {
+	vals []memmodel.Value
+	m    map[string]memmodel.Value
 }
 
 type threadDone struct {
@@ -76,17 +116,25 @@ type threadDone struct {
 }
 
 // Runner executes a program repeatedly, reusing location tables, message
-// bags, thread shells, scratch buffers and scheduler channels between runs
-// so that a steady-state trial loop allocates near-zero memory per run.
+// bags, thread shells, thread goroutines, scratch buffers and scheduler
+// channels between runs so that a steady-state trial loop allocates
+// near-zero memory per run.
 //
 // A Runner is bound to one immutable Program and one Options value. It is
 // NOT safe for concurrent use; for parallel trials give each worker its own
 // Runner (see internal/harness.RunTrialsPooled).
 //
+// With the default direct-handoff scheduler a Runner pools thread
+// coroutines between runs (parked on their between-runs yield). Call Close
+// when done with a Runner to release them; a dropped unclosed Runner pins
+// its pooled coroutines (at most the program's thread count) until process
+// exit.
+//
 // Determinism guarantee: for a fixed program, strategy and seed, a run
 // produces the same Outcome (and byte-identical Recording) whether the
-// Runner is fresh or has executed any number of prior runs, and whether
-// the trial executes on the serial or the pooled harness path.
+// Runner is fresh or has executed any number of prior runs, whether the
+// trial executes on the serial or the pooled harness path, and whether the
+// direct-handoff or the legacy baton scheduler executes it.
 type Runner struct {
 	e Engine
 }
@@ -102,9 +150,11 @@ func NewRunner(prog *Program, opts Options) *Runner {
 	e := &r.e
 	e.prog = prog
 	e.opts = opts.withDefaults()
-	e.parkCh = make(chan *Thread)
-	e.doneCh = make(chan threadDone)
-	e.endCh = make(chan struct{}, 1)
+	if e.opts.Baton {
+		e.parkCh = make(chan *Thread)
+		e.doneCh = make(chan threadDone)
+		e.endCh = make(chan struct{}, 1)
+	}
 	return r
 }
 
@@ -117,10 +167,11 @@ func (r *Runner) Program() *Program { return r.e.prog }
 // Runner state and stays valid across subsequent runs.
 func (r *Runner) Run(strat Strategy, seed int64) *Outcome {
 	e := &r.e
+	if e.closed {
+		panic("pctwm: Runner.Run called after Close")
+	}
 	e.reset(strat, seed)
-	start := time.Now()
 	e.run()
-	e.outcome.Duration = time.Since(start)
 	e.finalize()
 	out := e.outcome
 	e.outcome = Outcome{}
@@ -128,11 +179,13 @@ func (r *Runner) Run(strat Strategy, seed int64) *Outcome {
 }
 
 // Run executes prog once under strat with the given random seed and
-// options, returning the outcome. It is a one-shot wrapper over Runner;
-// repeated-trial loops should create a Runner (or use the harness) to
-// amortize setup.
+// options, returning the outcome. It is a one-shot wrapper over Runner
+// (including goroutine cleanup); repeated-trial loops should create a
+// Runner (or use the harness) to amortize setup.
 func Run(prog *Program, strat Strategy, seed int64, opts Options) *Outcome {
-	return NewRunner(prog, opts).Run(strat, seed)
+	r := NewRunner(prog, opts)
+	defer r.Close()
+	return r.Run(strat, seed)
 }
 
 // reset prepares the engine for a fresh execution. Location tables, thread
@@ -144,7 +197,9 @@ func (e *Engine) reset(strat Strategy, seed int64) {
 	if e.rng == nil {
 		e.rng = rand.New(&e.rngSrc)
 	}
-	e.killed = make(chan struct{})
+	if e.opts.Baton {
+		e.killed = make(chan struct{})
+	}
 	e.nextTID = 0
 	e.scView.Reset()
 	e.scVC.Reset()
@@ -191,19 +246,34 @@ func (e *Engine) finalize() {
 
 // releaseRun drains the per-run pooled state. Message bags and release
 // clocks go back to the arenas; locations and thread shells are truncated
-// in place so the next run reuses their backing storage.
+// in place so the next run reuses their backing storage (including, on the
+// direct path, each shell's parked goroutine).
 func (e *Engine) releaseRun() {
+	// Static locations stay warm (initWarm): their single init message is
+	// identical in every run of the same program, so only the writes the
+	// run itself performed are released. Dynamically allocated locations
+	// are drained completely.
+	keep := 0
+	if e.initWarm {
+		keep = len(e.prog.locs)
+	}
 	for i := range e.locs {
 		loc := &e.locs[i]
-		for j := range loc.mo {
+		base := 0
+		if i < keep {
+			base = 1
+		}
+		for j := base; j < len(loc.mo); j++ {
 			e.viewArena.Release(&loc.mo[j].bag)
 			e.vcArena.Release(&loc.mo[j].relVC)
 		}
-		loc.mo = loc.mo[:0]
-		loc.name = ""
-		loc.allocName = ""
+		loc.mo = loc.mo[:base]
+		if i >= keep {
+			loc.name = ""
+			loc.allocName = ""
+		}
 	}
-	e.locs = e.locs[:0]
+	e.locs = e.locs[:keep]
 	e.freeThreads = append(e.freeThreads, e.threads...)
 	e.threads = e.threads[:0]
 }
@@ -215,27 +285,31 @@ func (e *Engine) locName(l memmodel.Loc) string {
 	return fmt.Sprintf("x%d", l)
 }
 
-// run executes the scheduling protocol. The engine serializes threads with
-// a baton: exactly one goroutine — the host (this function) or one thread
-// goroutine — may touch engine state at a time. A parked thread that holds
-// the baton drives the next scheduling decision itself and hands the baton
-// directly to the granted thread, so consecutive grants to the same thread
-// cost no goroutine switch and alternating grants cost one (the classic
-// engine-in-the-middle protocol costs two per step).
+// run dispatches to the active scheduling protocol. Both protocols share
+// driveStep/apply (and therefore every strategy interaction), so schedules
+// and outcomes are bit-identical across them for a fixed seed.
 func (e *Engine) run() {
-	defer e.teardown()
+	if e.opts.Baton {
+		e.runBaton()
+	} else {
+		e.runDirect()
+	}
+}
 
+// startRoots creates and starts the root threads and announces them to the
+// strategy. The caller holds the baton.
+func (e *Engine) startRoots() {
 	initView, initVC := e.initMemory()
 
-	// Start root threads; they inherit the init thread's view (the spawn
-	// of root threads synchronizes with initialization).
+	// Root threads inherit the init thread's view (the spawn of root
+	// threads synchronizes with initialization).
 	lastInit := memmodel.NoEvent
 	if e.nextEventID > 0 {
 		lastInit = e.nextEventID - 1
 	}
 	nRoots := len(e.prog.threads)
 	for _, rt := range e.prog.threads {
-		t := e.newThread(rt.name, initView, initVC)
+		t := e.newThread(rt.name, nil, initView, initVC)
 		if e.rec != nil {
 			e.rec.SpawnLinks = append(e.rec.SpawnLinks, SpawnLink{From: lastInit, Child: t.id})
 		}
@@ -249,6 +323,21 @@ func (e *Engine) run() {
 	for i := 0; i < nRoots; i++ {
 		e.strat.OnThreadStart(e.threads[i].id, memmodel.InitThread)
 	}
+}
+
+// runBaton executes the legacy scheduling protocol. The engine serializes
+// threads with a baton: exactly one goroutine — the host (this function)
+// or one thread goroutine — may touch engine state at a time. A parked
+// thread that holds the baton drives the next scheduling decision itself
+// and hands the baton to the granted thread via an unbuffered channel
+// select (racing a kill channel), and thread goroutines are created per
+// run.
+func (e *Engine) runBaton() {
+	defer e.teardownBaton()
+	start := time.Now()
+	defer func() { e.outcome.Duration = time.Since(start) }()
+
+	e.startRoots()
 
 	// Kick off: the host performs the first scheduling decision, hands the
 	// baton to the granted thread, and waits for the end-of-run signal.
@@ -271,11 +360,16 @@ func (e *Engine) driveStep() (granted *Thread, res response, ended bool) {
 	if len(enabled) == 0 {
 		if e.liveThreads() > 0 {
 			e.outcome.Deadlocked = true
+			e.setRunError(&RunError{Kind: DeadlockError, Msg: e.deadlockMsg()})
 		}
 		return nil, response{}, true
 	}
 	if e.outcome.Steps >= e.opts.MaxSteps {
 		e.outcome.Aborted = true
+		e.setRunError(&RunError{
+			Kind: StepLimitError,
+			Msg:  fmt.Sprintf("step limit (%d) exceeded", e.opts.MaxSteps),
+		})
 		return nil, response{}, true
 	}
 	tid := e.strat.NextThread(enabled)
@@ -296,41 +390,105 @@ func (e *Engine) driveStep() (granted *Thread, res response, ended bool) {
 	return t, res, false
 }
 
-// signalEnd notifies the host that the run is over. endCh is buffered and
-// at most one end is signalled per run (the baton is unique), so the send
-// never blocks.
+// setRunError records the first abnormal-termination cause of the run.
+func (e *Engine) setRunError(err *RunError) {
+	if e.outcome.Err == nil {
+		e.outcome.Err = err
+	}
+}
+
+// deadlockMsg renders the blocked live threads deterministically
+// (ascending thread id).
+func (e *Engine) deadlockMsg() string {
+	msg := "deadlock: no enabled thread among"
+	for _, t := range e.threads {
+		if t.started && !t.finished {
+			msg += fmt.Sprintf(" t%d", t.id)
+		}
+	}
+	return msg
+}
+
+// signalEnd notifies the host that the run is over (legacy protocol).
+// endCh is buffered and at most one end is signalled per run (the baton is
+// unique), so the send never blocks.
 func (e *Engine) signalEnd() {
 	e.endCh <- struct{}{}
 }
 
 // initMemory creates the initialization writes (thread 0) and returns the
-// view/clock every root thread inherits.
+// view/clock every root thread inherits. The returned view and clock are
+// engine-owned scratch (their backing arrays persist across runs); callers
+// must copy, not retain.
 func (e *Engine) initMemory() (memmodel.View, vclock.VC) {
-	var view memmodel.View
-	var vc vclock.VC
-	for i, d := range e.prog.locs {
-		l := memmodel.Loc(i + 1)
-		vc.Tick(int(memmodel.InitThread))
-		ev := e.newEvent(memmodel.InitThread, i, memmodel.Label{
-			Kind:  memmodel.KindWrite,
-			Order: memmodel.Relaxed,
-			Loc:   l,
-			WVal:  d.init,
-		})
-		ev.Stamp = 1
-		e.record(ev)
-		bag := e.viewArena.New(int(l))
-		bag.Set(l, 1)
-		loc := e.pushLoc()
-		loc.name = d.name
-		loc.mo = append(loc.mo, message{
-			stamp: 1, val: d.init,
-			tid: memmodel.InitThread, event: ev.ID,
-			bag: bag, relVC: e.vcArena.Clone(vc),
-		})
-		view.Set(l, 1)
+	k := len(e.prog.locs)
+	if e.initWarm && len(e.locs) != k {
+		// The program's location table changed between runs (programs are
+		// not supposed to be mutated after NewRunner, but stay safe):
+		// discard the cached init state and rebuild cold.
+		e.invalidateInit()
 	}
-	return view, vc
+	if !e.initWarm {
+		e.initView.Reset()
+		e.initVC.Reset()
+		for i, d := range e.prog.locs {
+			l := memmodel.Loc(i + 1)
+			e.initVC.Tick(int(memmodel.InitThread))
+			bag := e.viewArena.New(int(l))
+			bag.Set(l, 1)
+			loc := e.pushLoc()
+			loc.name = d.name
+			m := loc.appendSlot()
+			m.val, m.tid, m.event = d.init, memmodel.InitThread, memmodel.EventID(i)
+			m.bag, m.relVC = bag, e.vcArena.Clone(e.initVC)
+			e.initView.Set(l, 1)
+		}
+		e.initWarm = true
+	}
+	// Initialization events bypass the strategy and the race detector; only
+	// the event-id counter advances (ids feed the messages and must stay
+	// identical across runs and options). Recorded runs additionally replay
+	// the init events into the recording.
+	e.nextEventID = memmodel.EventID(k)
+	if e.rec != nil {
+		e.recordInitEvents()
+	}
+	return e.initView, e.initVC
+}
+
+// recordInitEvents appends the k initialization write events to the
+// recording (ids 0..k-1, matching the cached init messages).
+func (e *Engine) recordInitEvents() {
+	for i, d := range e.prog.locs {
+		ev := memmodel.Event{
+			ID: memmodel.EventID(i), TID: memmodel.InitThread, Index: i,
+			Label: memmodel.Label{
+				Kind:  memmodel.KindWrite,
+				Order: memmodel.Relaxed,
+				Loc:   memmodel.Loc(i + 1),
+				WVal:  d.init,
+			},
+			ReadsFrom: memmodel.NoEvent,
+			Stamp:     1,
+		}
+		e.record(&ev)
+	}
+}
+
+// invalidateInit releases the cached static init state (see initWarm).
+func (e *Engine) invalidateInit() {
+	for i := range e.locs {
+		loc := &e.locs[i]
+		for j := range loc.mo {
+			e.viewArena.Release(&loc.mo[j].bag)
+			e.vcArena.Release(&loc.mo[j].relVC)
+		}
+		loc.mo = loc.mo[:0]
+		loc.name = ""
+		loc.allocName = ""
+	}
+	e.locs = e.locs[:0]
+	e.initWarm = false
 }
 
 // pushLoc extends the location table by one slot, reusing the slot's
@@ -351,7 +509,7 @@ func (e *Engine) thread(tid memmodel.ThreadID) *Thread {
 	return nil
 }
 
-func (e *Engine) newThread(name string, view memmodel.View, vc vclock.VC) *Thread {
+func (e *Engine) newThread(name string, parent *Thread, view memmodel.View, vc vclock.VC) *Thread {
 	e.nextTID++
 	var t *Thread
 	if n := len(e.freeThreads); n > 0 {
@@ -359,10 +517,14 @@ func (e *Engine) newThread(name string, view memmodel.View, vc vclock.VC) *Threa
 		e.freeThreads = e.freeThreads[:n-1]
 		t.recycle()
 	} else {
-		t = &Thread{eng: e, wake: make(chan response)}
+		t = &Thread{eng: e}
+		if e.opts.Baton {
+			t.wake = make(chan response)
+		}
 	}
 	t.id = e.nextTID
 	t.name = name
+	t.parent = parent
 	t.firstPark = true
 	t.cur.CopyFrom(view)
 	t.curVC.CopyFrom(vc)
@@ -370,9 +532,19 @@ func (e *Engine) newThread(name string, view memmodel.View, vc vclock.VC) *Threa
 	return t
 }
 
-// startThread launches the goroutine for t and waits for it to park on its
-// first operation (or finish immediately). The caller holds the baton.
+// startThread launches (or, on the direct path, reuses) the goroutine for
+// t and waits for it to park on its first operation or finish immediately.
+// The caller holds the baton.
 func (e *Engine) startThread(t *Thread, fn ThreadFunc) {
+	if e.opts.Baton {
+		e.startThreadBaton(t, fn)
+	} else {
+		e.startThreadDirect(t, fn)
+	}
+}
+
+// startThreadBaton launches a per-run goroutine for t (legacy protocol).
+func (e *Engine) startThreadBaton(t *Thread, fn ThreadFunc) {
 	t.started = true
 	e.wg.Add(1)
 	go func() {
@@ -415,8 +587,8 @@ func (e *Engine) startThread(t *Thread, fn ThreadFunc) {
 }
 
 // waitForPark blocks until thread t either parks on its first operation or
-// terminates. It is used only during thread startup, when the starter
-// holds the baton and t is the only runnable thread.
+// terminates (legacy protocol). It is used only during thread startup,
+// when the starter holds the baton and t is the only runnable thread.
 func (e *Engine) waitForPark(t *Thread) {
 	select {
 	case parked := <-e.parkCh:
@@ -435,7 +607,9 @@ func (e *Engine) finishThread(t *Thread, done threadDone) {
 	t.finished = true
 	e.stepsSinceProgress = 0
 	if done.panicked {
-		e.reportBug(fmt.Sprintf("thread %s (t%d) crashed: %v", t.name, t.id, done.panicVal))
+		msg := fmt.Sprintf("thread %s (t%d) crashed: %v", t.Name(), t.id, done.panicVal)
+		e.reportBug(msg)
+		e.setRunError(&RunError{Kind: PanicError, TID: t.id, Msg: msg})
 	}
 }
 
@@ -463,13 +637,14 @@ func (e *Engine) isEnabled(t *Thread) bool {
 
 // enabledOps collects the pending operations of all enabled threads in
 // ascending thread-id order (the threads slice is in creation = id order).
-// The returned slice aliases an engine scratch buffer: strategies must not
-// retain it across calls.
+// Each thread's PendingOp was precomputed when it parked (Thread.submit),
+// so collecting is a plain copy loop. The returned slice aliases an engine
+// scratch buffer: strategies must not retain it across calls.
 func (e *Engine) enabledOps() []PendingOp {
 	ops := e.enabledBuf[:0]
 	for _, t := range e.threads {
 		if e.isEnabled(t) {
-			ops = append(ops, t.pending())
+			ops = append(ops, t.pend)
 		}
 	}
 	e.enabledBuf = ops
@@ -512,17 +687,60 @@ func (e *Engine) record(ev *memmodel.Event) {
 	}
 }
 
+// finalValues builds the Outcome's FinalValues map. Programs reach only a
+// handful of distinct final states across a trial campaign, so the maps
+// are interned per Runner: runs ending in an already-seen state share the
+// cached (read-only, see Outcome.FinalValues) map instead of rebuilding
+// it — map construction was the dominant per-run allocation.
 func (e *Engine) finalValues() map[string]memmodel.Value {
+	buf := e.fvScratch[:0]
+	miss := false
+	for i := range e.prog.locs {
+		if i < len(e.locs) && len(e.locs[i].mo) > 0 {
+			buf = append(buf, e.locs[i].maximal().val)
+		} else {
+			miss = true // keep the cache key aligned with map contents
+			break
+		}
+	}
+	e.fvScratch = buf
+	if !miss {
+	outer:
+		for i := range e.fvCache {
+			ent := &e.fvCache[i]
+			if len(ent.vals) != len(buf) {
+				continue
+			}
+			for j := range buf {
+				if ent.vals[j] != buf[j] {
+					continue outer
+				}
+			}
+			return ent.m
+		}
+	}
 	vals := make(map[string]memmodel.Value, len(e.prog.locs))
 	for i := range e.prog.locs {
 		if i < len(e.locs) && len(e.locs[i].mo) > 0 {
 			vals[e.locs[i].name] = e.locs[i].maximal().val
 		}
 	}
+	if !miss && len(e.fvCache) < maxFinalValueCache {
+		e.fvCache = append(e.fvCache, fvEntry{
+			vals: append([]memmodel.Value(nil), buf...),
+			m:    vals,
+		})
+	}
 	return vals
 }
 
-func (e *Engine) teardown() {
+// maxFinalValueCache bounds the per-Runner interning cache of FinalValues
+// maps; programs with more distinct final states fall back to building
+// fresh maps for the overflow.
+const maxFinalValueCache = 64
+
+// teardownBaton unwinds the legacy protocol's per-run goroutines.
+func (e *Engine) teardownBaton() {
 	close(e.killed)
 	e.wg.Wait()
 }

@@ -21,7 +21,7 @@ type scriptStrategy struct {
 func (s *scriptStrategy) Name() string                         { return "script" }
 func (s *scriptStrategy) Begin(ProgramInfo, *rand.Rand)        {}
 func (s *scriptStrategy) OnThreadStart(_, _ memmodel.ThreadID) {}
-func (s *scriptStrategy) OnEvent(ev memmodel.Event)            { s.events = append(s.events, ev) }
+func (s *scriptStrategy) OnEvent(ev *memmodel.Event)           { s.events = append(s.events, *ev) }
 func (s *scriptStrategy) OnSpin(tid memmodel.ThreadID)         { s.spins = append(s.spins, tid) }
 func (s *scriptStrategy) NextThread(en []PendingOp) memmodel.ThreadID {
 	return en[0].TID

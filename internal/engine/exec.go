@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 
 	"pctwm/internal/memmodel"
 	"pctwm/internal/vclock"
@@ -10,9 +11,10 @@ import (
 // apply grants thread t's parked request and applies the memory-model
 // semantics (the view machine of Algorithm 2), returning the response the
 // thread resumes with. The caller (a baton holder, see driveStep) wakes t
-// with the response — or discards it when the run stopped.
+// with the response — or discards it when the run stopped. The request is
+// consumed in place (no copy): t cannot repost until it is woken.
 func (e *Engine) apply(t *Thread) response {
-	req := t.req
+	req := &t.req
 	var res response
 	switch req.code {
 	case opLoad:
@@ -30,7 +32,7 @@ func (e *Engine) apply(t *Thread) response {
 	case opAlloc:
 		res.loc = e.execAlloc(t, req)
 	case opSpawn:
-		res.spawned = e.execSpawn(t, req.spawnFn)
+		res.spawned = e.execSpawn(t, t.ext.spawnFn)
 	case opJoin:
 		e.execJoin(t, req.joinTID)
 	case opAssert:
@@ -67,7 +69,7 @@ func (e *Engine) finishEvent(t *Thread, ev *memmodel.Event) {
 		}
 	}
 	e.record(ev)
-	e.strat.OnEvent(*ev)
+	e.strat.OnEvent(ev)
 }
 
 // acquireSCView is called before an SC event touches memory: the event
@@ -86,11 +88,19 @@ func (e *Engine) loc(l memmodel.Loc) *location {
 }
 
 // readCandidates returns the coherence-legal writes for a read of l by t in
-// ascending modification order: every write at or after the thread's view
-// floor. Without filtering, Candidates[0] is the thread-local view write
+// ascending modification order. The coherence scan starts from the
+// reader's view timestamp (the thread's floor for l), not the head of the
+// modification order, so its cost is O(|candidates|) rather than O(|mo|).
+// Without filtering, Candidates[0] is the thread-local view write
 // (readLocal). When excludeVal is set, writes carrying excluded are
-// filtered out (the failure path of a strong CAS). The returned slice
-// aliases an engine scratch buffer valid until the next read.
+// filtered out (the failure path of a strong CAS).
+//
+// Aliasing contract: the returned slice aliases the engine-owned scratch
+// buffer e.candBuf. It is valid only until the next readCandidates call;
+// execRead/execCAS/execReadOf therefore fully consume one candidate set
+// (strategy PickRead + message lookup) before issuing the next candidate
+// query, and strategies must not retain ReadContext.Candidates across
+// PickRead calls.
 func (e *Engine) readCandidates(t *Thread, l memmodel.Loc, excludeVal bool, excluded memmodel.Value) []ReadCandidate {
 	loc := e.loc(l)
 	floor := t.cur.Get(l)
@@ -118,7 +128,7 @@ func (e *Engine) execRead(t *Thread, l memmodel.Loc, ord memmodel.Order, casFail
 	}
 	cands := e.readCandidates(t, l, casFail, expected)
 	if len(cands) == 0 {
-		panic(fmt.Sprintf("pctwm: no read candidates for %s at %s", t.name, e.locName(l)))
+		panic(fmt.Sprintf("pctwm: no read candidates for %s at %s", t.Name(), e.locName(l)))
 	}
 	choice := 0
 	if len(cands) > 1 {
@@ -197,11 +207,10 @@ func (e *Engine) execWrite(t *Thread, l memmodel.Loc, v memmodel.Value, ord memm
 	ts := memmodel.TS(len(loc.mo) + 1)
 	bag := t.publishBag(l, ts, ord, nil)
 	relVC := t.publishVC(ord)
-	loc.append(message{
-		val: v, tid: t.id, event: ev.ID,
-		bag: bag, relVC: relVC,
-		nonAtomic: ord == memmodel.NonAtomic,
-	})
+	m := loc.appendSlot()
+	m.val, m.tid, m.event = v, t.id, ev.ID
+	m.bag, m.relVC = bag, relVC
+	m.nonAtomic = ord == memmodel.NonAtomic
 	ev.Stamp = ts
 	t.cur.Set(l, ts) // Algorithm 2 lines 4-5
 
@@ -238,10 +247,9 @@ func (e *Engine) execRMW(t *Thread, l memmodel.Loc, ord memmodel.Order, f func(m
 	bag := t.publishBag(l, ts, ord, old)
 	relVC := t.publishVC(ord)
 	relVC.Join(old.relVC)
-	loc.append(message{
-		val: newVal, tid: t.id, event: ev.ID,
-		bag: bag, relVC: relVC,
-	})
+	m := loc.appendSlot()
+	m.val, m.tid, m.event = newVal, t.id, ev.ID
+	m.bag, m.relVC = bag, relVC
 	ev.Stamp = ts
 	t.cur.Set(l, ts)
 
@@ -252,7 +260,7 @@ func (e *Engine) execRMW(t *Thread, l memmodel.Loc, ord memmodel.Order, f func(m
 	return old.val
 }
 
-func (e *Engine) execCAS(t *Thread, req request) (memmodel.Value, bool) {
+func (e *Engine) execCAS(t *Thread, req *request) (memmodel.Value, bool) {
 	loc := e.loc(req.loc)
 	if loc.maximal().val == req.expected {
 		if req.weak {
@@ -333,12 +341,12 @@ func (e *Engine) execFence(t *Thread, ord memmodel.Order) {
 	e.finishEvent(t, ev)
 }
 
-func (e *Engine) execAlloc(t *Thread, req request) memmodel.Loc {
+func (e *Engine) execAlloc(t *Thread, req *request) memmodel.Loc {
 	base := memmodel.Loc(len(e.locs) + 1)
 	for i := 0; i < req.allocN; i++ {
 		var init memmodel.Value
-		if i < len(req.allocInit) {
-			init = req.allocInit[i]
+		if i < len(t.ext.allocInit) {
+			init = t.ext.allocInit[i]
 		}
 		l := memmodel.Loc(len(e.locs) + 1)
 
@@ -349,7 +357,7 @@ func (e *Engine) execAlloc(t *Thread, req request) memmodel.Loc {
 		bag := e.viewArena.New(int(l))
 		bag.Set(l, 1)
 		loc := e.pushLoc()
-		loc.allocName = req.allocName
+		loc.allocName = t.ext.allocName
 		loc.allocBase = base
 		loc.allocIdx = i
 		loc.mo = append(loc.mo, message{
@@ -366,7 +374,9 @@ func (e *Engine) execAlloc(t *Thread, req request) memmodel.Loc {
 
 func (e *Engine) execSpawn(t *Thread, fn ThreadFunc) *ThreadHandle {
 	ev, _ := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindSpawn})
-	child := e.newThread(fmt.Sprintf("%s.%d", t.name, e.nextTID+1), t.cur, t.curVC)
+	// The child is named lazily ("parent.id", see Thread.Name): no string
+	// formatting on the spawn hot path.
+	child := e.newThread("", t, t.cur, t.curVC)
 	if e.rec != nil {
 		e.rec.SpawnLinks = append(e.rec.SpawnLinks, SpawnLink{From: ev.ID, Child: child.id})
 	}
@@ -397,11 +407,21 @@ func (e *Engine) execJoin(t *Thread, child memmodel.ThreadID) {
 	e.finishEvent(t, ev)
 }
 
-func (e *Engine) execAssert(t *Thread, req request) {
+func (e *Engine) execAssert(t *Thread, req *request) {
 	ev, _ := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindAssert})
 	e.progress()
 	if !req.assertOK {
-		e.reportBug(fmt.Sprintf("assertion failed in %s (t%d): %s", t.name, t.id, req.assertMsg))
+		// Benchmarks hit failing asserts on a large fraction of runs;
+		// building the message by hand keeps fmt's interface machinery off
+		// that path (same output as the previous Sprintf).
+		buf := make([]byte, 0, 48+len(t.ext.assertMsg))
+		buf = append(buf, "assertion failed in "...)
+		buf = append(buf, t.Name()...)
+		buf = append(buf, " (t"...)
+		buf = strconv.AppendInt(buf, int64(t.id), 10)
+		buf = append(buf, "): "...)
+		buf = append(buf, t.ext.assertMsg...)
+		e.reportBug(string(buf))
 	}
 	e.finishEvent(t, ev)
 }

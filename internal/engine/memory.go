@@ -63,10 +63,21 @@ func (l *location) maximal() *message { return &l.mo[len(l.mo)-1] }
 // byStamp returns the message with the given stamp.
 func (l *location) byStamp(ts memmodel.TS) *message { return &l.mo[ts-1] }
 
-// append adds a write at the end of the modification order and returns its
-// stamp.
-func (l *location) append(m message) memmodel.TS {
-	m.stamp = memmodel.TS(len(l.mo) + 1)
-	l.mo = append(l.mo, m)
-	return m.stamp
+// appendSlot grows the modification order by one and returns the new slot,
+// zeroed except for its stamp. Callers fill the remaining fields in place:
+// message is large enough that constructing it in the caller and passing it
+// by value costs two bulk copies per write on the hot path.
+func (l *location) appendSlot() *message {
+	n := len(l.mo)
+	if n < cap(l.mo) {
+		// Reused backing storage holds a stale message from a previous run
+		// (its bag/relVC arrays were released); clear it before handing out.
+		l.mo = l.mo[:n+1]
+		l.mo[n] = message{}
+	} else {
+		l.mo = append(l.mo, message{})
+	}
+	m := &l.mo[n]
+	m.stamp = memmodel.TS(n + 1)
+	return m
 }

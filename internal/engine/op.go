@@ -23,25 +23,32 @@ const (
 	opYield
 )
 
-// request is an operation posted by a thread goroutine to the engine.
+// request is an operation posted by a thread goroutine to the engine. It
+// holds only plain-old-data fields so that the per-operation store
+// `t.req = request{...}` compiles to a handful of scalar writes — no
+// duffcopy, no GC write barriers on the hot path. The pointer-bearing
+// parameters of the rare requests live in reqExt.
 type request struct {
 	code  opCode
 	order memmodel.Order
 	// failOrder is the failure memory order of a compare-and-swap.
 	failOrder memmodel.Order
-	loc       memmodel.Loc
-	value     memmodel.Value // store value / CAS desired / fetch-add delta
-	expected  memmodel.Value // CAS expected
-	weak      bool           // CAS may fail spuriously
-	// alloc parameters
-	allocName string
-	allocN    int
-	allocInit []memmodel.Value
-	// spawn/join parameters
-	spawnFn ThreadFunc
-	joinTID memmodel.ThreadID
-	// assert parameters
+	weak      bool // CAS may fail spuriously
 	assertOK  bool
+	loc       memmodel.Loc
+	value     memmodel.Value    // store value / CAS desired / fetch-add delta
+	expected  memmodel.Value    // CAS expected
+	joinTID   memmodel.ThreadID // join target (read by isEnabled)
+	allocN    int
+}
+
+// reqExt carries the pointer-bearing parameters of the rare requests
+// (alloc, spawn, assert). It is written only by those operations, keeping
+// the hot-path request stores free of pointer slots.
+type reqExt struct {
+	allocName string
+	allocInit []memmodel.Value
+	spawnFn   ThreadFunc
 	assertMsg string
 }
 

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"pctwm/internal/memmodel"
+)
+
+// crashProgram has a second thread so the panicking thread's TID (2) is
+// distinguishable from "no attribution" (0) and from the root thread (1).
+func crashProgram() *Program {
+	p := NewProgram("err-crash")
+	x := p.Loc("X", 0)
+	p.AddThread(func(th *Thread) { th.Store(x, 1, memmodel.Relaxed) })
+	p.AddThread(func(th *Thread) { panic("kaboom") })
+	return p
+}
+
+// joinCycleProgram deadlocks deterministically: the child joins itself (a
+// thread is never enabled while waiting on an unfinished thread, and it
+// cannot finish while blocked), and the root waits on the child. The
+// child's leading Load matters: a spawned function runs eagerly up to its
+// first submit while the parent's Spawn is still executing, so the load
+// parks the child before it reads h — by the time it is granted again the
+// parent has long assigned the handle.
+func joinCycleProgram() *Program {
+	p := NewProgram("err-joincycle")
+	x := p.Loc("X", 0)
+	p.AddThread(func(th *Thread) {
+		var h *ThreadHandle
+		h = th.Spawn(func(c *Thread) {
+			c.Load(x, memmodel.Relaxed)
+			c.Join(h)
+		})
+		th.Join(h)
+	})
+	return p
+}
+
+// spinForeverProgram never terminates under readPick 0 (the thread-local
+// candidate is the initial write), so it exercises the step-limit abort.
+func spinForeverProgram() *Program {
+	p := NewProgram("err-spin")
+	f := p.Loc("F", 0)
+	p.AddThread(func(th *Thread) {
+		for th.Load(f, memmodel.Relaxed) == 0 {
+		}
+	})
+	p.AddThread(func(th *Thread) { th.Store(f, 0, memmodel.Relaxed) })
+	return p
+}
+
+// TestRunErrorPanic: a panicking thread yields a structured PanicError
+// attributed to the panicking thread, alongside the BugHit report.
+func TestRunErrorPanic(t *testing.T) {
+	for _, baton := range []bool{false, true} {
+		o := run(t, crashProgram(), &scriptStrategy{}, Options{Baton: baton})
+		if !o.BugHit {
+			t.Fatalf("baton=%v: crash not reported as bug: %+v", baton, o)
+		}
+		if o.Err == nil {
+			t.Fatalf("baton=%v: Outcome.Err is nil for a panicking run", baton)
+		}
+		if o.Err.Kind != PanicError {
+			t.Errorf("baton=%v: Err.Kind = %v, want %v", baton, o.Err.Kind, PanicError)
+		}
+		if o.Err.TID != 2 {
+			t.Errorf("baton=%v: Err.TID = %d, want 2 (the panicking thread)", baton, o.Err.TID)
+		}
+		if !strings.Contains(o.Err.Msg, "kaboom") {
+			t.Errorf("baton=%v: Err.Msg = %q, want the panic value", baton, o.Err.Msg)
+		}
+		if o.Err.Error() != o.Err.Msg {
+			t.Errorf("baton=%v: Error() = %q, want Msg %q", baton, o.Err.Error(), o.Err.Msg)
+		}
+	}
+}
+
+// TestRunErrorDeadlock: a join cycle yields a DeadlockError naming the
+// blocked threads, with no single-thread attribution.
+func TestRunErrorDeadlock(t *testing.T) {
+	for _, baton := range []bool{false, true} {
+		o := run(t, joinCycleProgram(), &scriptStrategy{}, Options{Baton: baton})
+		if !o.Deadlocked {
+			t.Fatalf("baton=%v: expected a deadlocked run: %+v", baton, o)
+		}
+		if o.Err == nil {
+			t.Fatalf("baton=%v: Outcome.Err is nil for a deadlocked run", baton)
+		}
+		if o.Err.Kind != DeadlockError {
+			t.Errorf("baton=%v: Err.Kind = %v, want %v", baton, o.Err.Kind, DeadlockError)
+		}
+		if o.Err.TID != 0 {
+			t.Errorf("baton=%v: Err.TID = %d, want 0 (no attribution)", baton, o.Err.TID)
+		}
+		if !strings.Contains(o.Err.Msg, "t1") || !strings.Contains(o.Err.Msg, "t2") {
+			t.Errorf("baton=%v: Err.Msg = %q, want both blocked threads named", baton, o.Err.Msg)
+		}
+	}
+}
+
+// TestRunErrorStepLimit: hitting MaxSteps yields a StepLimitError that
+// names the configured budget, consistent with the Aborted flag.
+func TestRunErrorStepLimit(t *testing.T) {
+	for _, baton := range []bool{false, true} {
+		o := run(t, spinForeverProgram(), &scriptStrategy{readPick: 0},
+			Options{MaxSteps: 200, Baton: baton})
+		if !o.Aborted {
+			t.Fatalf("baton=%v: expected an aborted run: %+v", baton, o)
+		}
+		if o.Err == nil {
+			t.Fatalf("baton=%v: Outcome.Err is nil for an aborted run", baton)
+		}
+		if o.Err.Kind != StepLimitError {
+			t.Errorf("baton=%v: Err.Kind = %v, want %v", baton, o.Err.Kind, StepLimitError)
+		}
+		if !strings.Contains(o.Err.Msg, "200") {
+			t.Errorf("baton=%v: Err.Msg = %q, want the step budget named", baton, o.Err.Msg)
+		}
+	}
+}
+
+// TestRunErrorNilOnCleanAndAssertRuns: clean runs and plain assertion
+// failures do not produce a structured error — assertion failures are
+// reported through BugMessages only.
+func TestRunErrorNilOnCleanAndAssertRuns(t *testing.T) {
+	p := NewProgram("err-clean")
+	x := p.Loc("X", 0)
+	p.AddThread(func(th *Thread) { th.Store(x, 1, memmodel.Relaxed) })
+	if o := run(t, p, &scriptStrategy{}, Options{}); o.Err != nil {
+		t.Errorf("clean run: Err = %+v, want nil", o.Err)
+	}
+
+	q := NewProgram("err-assert")
+	q.Loc("X", 0)
+	q.AddThread(func(th *Thread) { th.Assert(false, "always fails") })
+	o := run(t, q, &scriptStrategy{}, Options{})
+	if !o.BugHit {
+		t.Fatalf("assertion failure not reported: %+v", o)
+	}
+	if o.Err != nil {
+		t.Errorf("assertion failure: Err = %+v, want nil", o.Err)
+	}
+}
+
+// TestRunErrorKindString covers the diagnostic names, including the
+// zero value.
+func TestRunErrorKindString(t *testing.T) {
+	cases := map[RunErrorKind]string{
+		PanicError:      "panic",
+		DeadlockError:   "deadlock",
+		StepLimitError:  "step-limit",
+		RunErrorKind(0): "unknown",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("RunErrorKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+// TestDurationMeasuredAroundExecution: Outcome.Duration covers the
+// execution phase only (initialization + stepping), so it is positive yet
+// bounded by the wall time around Run on both scheduler implementations —
+// the accounting the harness sums into TrialResult.Elapsed. Aborted runs
+// make teardown (unwinding parked threads) as expensive as it gets, which
+// is exactly the portion that must not be billed to Duration.
+func TestDurationMeasuredAroundExecution(t *testing.T) {
+	for _, baton := range []bool{false, true} {
+		r := NewRunner(spinForeverProgram(), Options{MaxSteps: 500, Baton: baton})
+		start := time.Now()
+		o := r.Run(&scriptStrategy{readPick: 0}, 1)
+		wall := time.Since(start)
+		r.Close()
+		if !o.Aborted {
+			t.Fatalf("baton=%v: expected an aborted run", baton)
+		}
+		if o.Duration <= 0 || o.Duration > wall {
+			t.Errorf("baton=%v: Duration %v outside (0, wall %v]", baton, o.Duration, wall)
+		}
+	}
+}
+
+// TestNoGoroutineLeakAfterAbortedRuns: the regression test for the
+// direct-handoff scheduler's coroutine pool. Aborted runs leave threads
+// parked mid-execution; the Runner must unwind and pool them, and Close
+// must release the pool. A thousand aborted runs therefore may not grow
+// the process goroutine count.
+func TestNoGoroutineLeakAfterAbortedRuns(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	r := NewRunner(spinForeverProgram(), Options{MaxSteps: 50})
+	for i := 0; i < 1000; i++ {
+		o := r.Run(&scriptStrategy{readPick: 0}, int64(i))
+		if !o.Aborted {
+			t.Fatalf("run %d: expected an aborted run, got %+v", i, o)
+		}
+	}
+
+	// Before Close the pool may hold up to the program's thread count.
+	if n := runtime.NumGoroutine(); n > base+2*r.Program().NumThreads()+2 {
+		t.Fatalf("goroutines grew with aborted runs: base %d, now %d", base, n)
+	}
+
+	r.Close()
+
+	// Released coroutines unwind asynchronously; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked after Close: base %d, now %d", base, n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -35,12 +35,56 @@ type JoinLink struct {
 	To    memmodel.EventID
 }
 
+// RunErrorKind classifies the abnormal ways an execution can end.
+type RunErrorKind uint8
+
+const (
+	// PanicError: a simulated thread's ThreadFunc panicked.
+	PanicError RunErrorKind = iota + 1
+	// DeadlockError: unfinished threads remained but none was enabled.
+	DeadlockError
+	// StepLimitError: the execution hit Options.MaxSteps.
+	StepLimitError
+)
+
+// String names the kind for diagnostics.
+func (k RunErrorKind) String() string {
+	switch k {
+	case PanicError:
+		return "panic"
+	case DeadlockError:
+		return "deadlock"
+	case StepLimitError:
+		return "step-limit"
+	}
+	return "unknown"
+}
+
+// RunError is the structured form of an abnormal execution ending,
+// surfaced as Outcome.Err. It complements the BugHit / Deadlocked /
+// Aborted booleans with machine-readable details, and is produced
+// identically by the direct-handoff and the legacy baton scheduler.
+type RunError struct {
+	Kind RunErrorKind
+	// TID is the thread the error is attributed to (the panicking thread
+	// for PanicError; 0 when no single thread is responsible).
+	TID memmodel.ThreadID
+	// Msg is a deterministic human-readable description.
+	Msg string
+}
+
+func (e *RunError) Error() string { return e.Msg }
+
 // Outcome summarizes one execution.
 type Outcome struct {
 	// BugHit is true when an assertion failed or a thread crashed.
 	BugHit bool
 	// BugMessages holds the failed assertion messages / panic values.
 	BugMessages []string
+	// Err structures the first abnormal-termination cause of the run
+	// (thread panic, deadlock, step-limit abort); nil for clean runs and
+	// for plain assertion failures, which are reported via BugMessages.
+	Err *RunError
 	// Races holds detected data races (when race detection is on).
 	Races []race.Race
 	// Steps counts scheduler grants (including yields).
@@ -56,10 +100,16 @@ type Outcome struct {
 	// enabled (a join cycle).
 	Deadlocked bool
 	// FinalValues maps static location names to their mo-maximal values.
+	// Outcomes of the same Runner that ended in the same final state share
+	// one interned map; treat it as read-only.
 	FinalValues map[string]memmodel.Value
 	// Recording is non-nil when Options.Record was set.
 	Recording *Recording
-	// Duration is the wall-clock time of the run.
+	// Duration is the wall-clock time of the run's execution phase:
+	// memory initialization plus the stepping loop, measured around the
+	// inline scheduling decisions. Teardown (unwinding parked threads
+	// after an aborted run) is excluded, so per-event cost derived from
+	// Duration is comparable across scheduler implementations.
 	Duration time.Duration
 }
 
@@ -88,6 +138,14 @@ type Options struct {
 	DetectRaces bool
 	// MaxRaces caps the number of reported races (default 16).
 	MaxRaces int
+	// Baton selects the legacy channel-select baton scheduler instead of
+	// the default direct-handoff scheduler. Both produce bit-identical
+	// schedules and outcomes for the same seed; the legacy path is kept
+	// for one release as an escape hatch (cmd flag -engine.baton) and as
+	// the reference implementation for the trace-equivalence tests. It
+	// costs roughly 2× per event (two channel selects plus per-run
+	// goroutine creation on the hot path).
+	Baton bool
 }
 
 func (o Options) withDefaults() Options {

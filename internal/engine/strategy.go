@@ -60,8 +60,10 @@ type Strategy interface {
 	NextThread(enabled []PendingOp) memmodel.ThreadID
 	// PickRead picks the index of the write to read from (see ReadContext).
 	PickRead(rc ReadContext) int
-	// OnEvent is invoked after each event executes.
-	OnEvent(ev memmodel.Event)
+	// OnEvent is invoked after each event executes. The pointed-to Event is
+	// engine-owned scratch, valid only for the duration of the call;
+	// strategies that retain it must copy.
+	OnEvent(ev *memmodel.Event)
 	// OnThreadStart is invoked when a thread becomes schedulable, including
 	// root threads (parent is InitThread for those).
 	OnThreadStart(tid, parent memmodel.ThreadID)

@@ -34,13 +34,36 @@ type Thread struct {
 	eng  *Engine
 	id   memmodel.ThreadID
 	name string
+	// parent backs lazy naming of spawned threads: "parent.id" strings are
+	// formatted on first use (diagnostics only), never on the spawn hot
+	// path. Valid for the duration of one run.
+	parent *Thread
 
-	// scheduler protocol: a parked thread blocks on wake until a baton
-	// holder grants its pending request; firstPark marks the one park in a
-	// thread's life that must go through the starter (parkCh) instead of
-	// driving the scheduler itself.
-	req       request
-	wake      chan response
+	// req is the parked request (POD only); ext carries the
+	// pointer-bearing parameters of rare requests; pend is the request's
+	// strategy-facing summary, computed once at post time instead of on
+	// every scheduling decision.
+	req  request
+	ext  reqExt
+	pend PendingOp
+
+	// Legacy baton protocol (Options.Baton): a parked thread blocks on
+	// wake until a baton holder grants its pending request.
+	wake chan response
+
+	// Direct-handoff protocol (default): the thread body runs on a
+	// coroutine (iter.Pull). resume switches into the coroutine, yield
+	// switches back to the most recent resumer, stop terminates the
+	// coroutine (Runner.Close) — all direct goroutine switches that never
+	// enter the Go scheduler. live marks the shell's pooled coroutine
+	// (parked on its between-runs yield, released by Runner.Close).
+	resume func()
+	stop   func()
+	yield  func(struct{}) bool
+	live   bool
+
+	// firstPark marks the one park in a thread's life that must report to
+	// the starter instead of driving the scheduler itself.
 	firstPark bool
 
 	// memory-model state (paper §5.1 / Algorithm 2)
@@ -67,13 +90,24 @@ type Thread struct {
 // ID returns this thread's identifier (1-based; 0 is the init pseudo-thread).
 func (t *Thread) ID() memmodel.ThreadID { return t.id }
 
-// Name returns the thread's diagnostic name.
-func (t *Thread) Name() string { return t.name }
+// Name returns the thread's diagnostic name. Spawned threads are named
+// lazily ("parent.id") so the spawn hot path never formats strings.
+func (t *Thread) Name() string {
+	if t.name == "" && t.parent != nil {
+		t.name = fmt.Sprintf("%s.%d", t.parent.Name(), t.id)
+	}
+	return t.name
+}
 
-// recycle readies a thread shell from a previous run for reuse. The wake
-// channel and the views'/clocks' backing arrays are retained.
+// recycle readies a thread shell from a previous run for reuse. The park
+// channel, the persistent goroutine and the views'/clocks' backing arrays
+// are retained.
 func (t *Thread) recycle() {
 	t.req = request{}
+	t.ext = reqExt{}
+	t.pend = PendingOp{}
+	t.name = ""
+	t.parent = nil
 	t.cur.Reset()
 	t.acqStash.Reset()
 	t.relFence.Reset()
@@ -86,7 +120,26 @@ func (t *Thread) recycle() {
 	t.resetSpin()
 }
 
-// post parks the thread on a request and returns the engine's response.
+// submit parks the thread on the request stored in t.req and returns the
+// engine's response, dispatching to the active scheduling protocol. It
+// also caches the request's strategy-facing PendingOp summary, so
+// enabledOps does not recompute it on every scheduling decision while the
+// thread stays parked.
+func (t *Thread) submit() response {
+	t.pend = PendingOp{
+		TID:   t.id,
+		Index: t.nextIndex,
+		Kind:  t.req.pendingKind(),
+		Order: t.req.order,
+		Loc:   t.req.loc,
+	}
+	if t.eng.opts.Baton {
+		return t.postBaton()
+	}
+	return t.postDirect()
+}
+
+// postBaton is the legacy (Options.Baton) park/grant protocol.
 //
 // The first park of a thread's life signals the starter (which holds the
 // baton and is blocked in waitForPark) and waits to be granted. Every
@@ -95,9 +148,8 @@ func (t *Thread) recycle() {
 // strategy grants this thread again the request is applied without any
 // goroutine switch; otherwise the baton (and the granted thread's
 // response) is handed directly to the chosen thread.
-func (t *Thread) post(r request) response {
+func (t *Thread) postBaton() response {
 	e := t.eng
-	t.req = r
 	if t.firstPark {
 		t.firstPark = false
 		select {
@@ -134,12 +186,14 @@ func (t *Thread) post(r request) response {
 // the load reads from is decided by the active testing strategy among the
 // coherence-legal candidates.
 func (t *Thread) Load(loc memmodel.Loc, ord memmodel.Order) memmodel.Value {
-	return t.post(request{code: opLoad, loc: loc, order: ord}).value
+	t.req = request{code: opLoad, loc: loc, order: ord}
+	return t.submit().value
 }
 
 // Store performs an atomic (or plain) store of v to loc.
 func (t *Thread) Store(loc memmodel.Loc, v memmodel.Value, ord memmodel.Order) {
-	t.post(request{code: opStore, loc: loc, value: v, order: ord})
+	t.req = request{code: opStore, loc: loc, value: v, order: ord}
+	t.submit()
 }
 
 // CAS is a strong compare-and-swap: if the modification-order-maximal value
@@ -148,10 +202,11 @@ func (t *Thread) Store(loc memmodel.Loc, v memmodel.Value, ord memmodel.Order) {
 // coherence-legal stale value different from expected. Returns the value
 // observed and whether the swap succeeded.
 func (t *Thread) CAS(loc memmodel.Loc, expected, desired memmodel.Value, ordSucc, ordFail memmodel.Order) (memmodel.Value, bool) {
-	res := t.post(request{
+	t.req = request{
 		code: opCAS, loc: loc, expected: expected, value: desired,
 		order: ordSucc, failOrder: ordFail,
-	})
+	}
+	res := t.submit()
 	return res.value, res.ok
 }
 
@@ -161,27 +216,31 @@ func (t *Thread) CAS(loc memmodel.Loc, expected, desired memmodel.Value, ordSucc
 // performing the exchange, as C11's compare_exchange_weak allows. Retry
 // loops must therefore tolerate ok == false with an unchanged value.
 func (t *Thread) CASWeak(loc memmodel.Loc, expected, desired memmodel.Value, ordSucc, ordFail memmodel.Order) (memmodel.Value, bool) {
-	res := t.post(request{
+	t.req = request{
 		code: opCAS, loc: loc, expected: expected, value: desired,
 		order: ordSucc, failOrder: ordFail, weak: true,
-	})
+	}
+	res := t.submit()
 	return res.value, res.ok
 }
 
 // FetchAdd atomically adds delta to loc and returns the previous value.
 func (t *Thread) FetchAdd(loc memmodel.Loc, delta memmodel.Value, ord memmodel.Order) memmodel.Value {
-	return t.post(request{code: opFetchAdd, loc: loc, value: delta, order: ord}).value
+	t.req = request{code: opFetchAdd, loc: loc, value: delta, order: ord}
+	return t.submit().value
 }
 
 // Exchange atomically replaces the value of loc and returns the previous one.
 func (t *Thread) Exchange(loc memmodel.Loc, v memmodel.Value, ord memmodel.Order) memmodel.Value {
-	return t.post(request{code: opExchange, loc: loc, value: v, order: ord}).value
+	t.req = request{code: opExchange, loc: loc, value: v, order: ord}
+	return t.submit().value
 }
 
 // Fence issues a memory fence with the given order (Acquire, Release,
 // AcqRel or SeqCst).
 func (t *Thread) Fence(ord memmodel.Order) {
-	t.post(request{code: opFence, order: ord})
+	t.req = request{code: opFence, order: ord}
+	t.submit()
 }
 
 // Alloc allocates n fresh contiguous shared locations initialized to init
@@ -193,7 +252,10 @@ func (t *Thread) Alloc(name string, n int, init ...memmodel.Value) memmodel.Loc 
 	if n <= 0 {
 		panic(fmt.Sprintf("pctwm: Alloc(%q, %d): n must be positive", name, n))
 	}
-	return t.post(request{code: opAlloc, allocName: name, allocN: n, allocInit: init}).loc
+	t.req = request{code: opAlloc, allocN: n}
+	t.ext.allocName = name
+	t.ext.allocInit = init
+	return t.submit().loc
 }
 
 // Spawn starts a new simulated thread running fn. The spawn synchronizes
@@ -202,7 +264,9 @@ func (t *Thread) Spawn(fn ThreadFunc) *ThreadHandle {
 	if fn == nil {
 		panic("pctwm: Spawn(nil)")
 	}
-	return t.post(request{code: opSpawn, spawnFn: fn}).spawned
+	t.req = request{code: opSpawn}
+	t.ext.spawnFn = fn
+	return t.submit().spawned
 }
 
 // Join blocks until the thread behind h terminates; the child's final view
@@ -211,33 +275,28 @@ func (t *Thread) Join(h *ThreadHandle) {
 	if h == nil {
 		panic("pctwm: Join(nil)")
 	}
-	t.post(request{code: opJoin, joinTID: h.tid})
+	t.req = request{code: opJoin, joinTID: h.tid}
+	t.submit()
 }
 
 // Assert records a bug when cond is false. The execution continues unless
 // the engine was configured with StopOnBug.
 func (t *Thread) Assert(cond bool, format string, args ...any) {
-	msg := ""
 	if !cond {
-		msg = fmt.Sprintf(format, args...)
+		if len(args) == 0 {
+			t.ext.assertMsg = format
+		} else {
+			t.ext.assertMsg = fmt.Sprintf(format, args...)
+		}
 	}
-	t.post(request{code: opAssert, assertOK: cond, assertMsg: msg})
+	t.req = request{code: opAssert, assertOK: cond}
+	t.submit()
 }
 
 // Yield relinquishes the processor without performing a memory event. It
 // still passes through the scheduler, so strategies may deprioritize
 // yielding threads; it does not create an event.
 func (t *Thread) Yield() {
-	t.post(request{code: opYield})
-}
-
-// pending describes the parked request as a PendingOp for strategies.
-func (t *Thread) pending() PendingOp {
-	return PendingOp{
-		TID:   t.id,
-		Index: t.nextIndex,
-		Kind:  t.req.pendingKind(),
-		Order: t.req.order,
-		Loc:   t.req.loc,
-	}
+	t.req = request{code: opYield}
+	t.submit()
 }

@@ -29,7 +29,7 @@ type scripted struct {
 
 func (s *scripted) Name() string                         { return "enumerate" }
 func (s *scripted) Begin(engine.ProgramInfo, *rand.Rand) {}
-func (s *scripted) OnEvent(memmodel.Event)               {}
+func (s *scripted) OnEvent(*memmodel.Event)              {}
 func (s *scripted) OnThreadStart(_, _ memmodel.ThreadID) {}
 func (s *scripted) OnSpin(memmodel.ThreadID)             {}
 

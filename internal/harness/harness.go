@@ -39,6 +39,7 @@ func EstimateParams(prog *engine.Program, runs int, seed int64, opts engine.Opti
 		runs = 1
 	}
 	r := engine.NewRunner(prog, opts)
+	defer r.Close()
 	strat := core.NewRandom()
 	var sumK, sumKCom int
 	for i := 0; i < runs; i++ {

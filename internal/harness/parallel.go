@@ -83,6 +83,7 @@ func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
 	strat engine.Strategy, runs int, seed int64, opts engine.Options, next *atomic.Int64) TrialResult {
 	var local TrialResult
 	r := engine.NewRunner(prog, opts)
+	defer r.Close()
 	for i := 0; ; i++ {
 		if next != nil {
 			i = int(next.Add(1)) - 1

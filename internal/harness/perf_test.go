@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"pctwm/internal/benchprog"
+	"pctwm/internal/core"
+)
+
+func snap(bench, strat string, nsPerEvent float64) EngineSnapshot {
+	return EngineSnapshot{Benchmark: bench, Strategy: strat, NsPerEvent: nsPerEvent}
+}
+
+// TestCompareSnapshots: deltas are matched by (benchmark, strategy),
+// reported in baseline order, and unmatched or degenerate cells are
+// skipped.
+func TestCompareSnapshots(t *testing.T) {
+	old := []EngineSnapshot{
+		snap("dekker", "c11tester", 200),
+		snap("dekker", "pctwm", 100),
+		snap("seqlock", "pctwm", 150),   // missing from the fresh snapshot
+		snap("msqueue", "c11tester", 0), // degenerate: no events measured
+	}
+	fresh := []EngineSnapshot{
+		snap("dekker", "pctwm", 130),      // +30% — a regression at 15%
+		snap("dekker", "c11tester", 190),  // -5% — an improvement
+		snap("msqueue", "c11tester", 250), // unmatched (baseline degenerate)
+		snap("barrier", "pctwm", 99),      // not in the baseline
+	}
+
+	deltas := CompareSnapshots(old, fresh)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2: %+v", len(deltas), deltas)
+	}
+	if deltas[0].Benchmark != "dekker" || deltas[0].Strategy != "c11tester" {
+		t.Errorf("deltas not in baseline order: %+v", deltas)
+	}
+	if math.Abs(deltas[0].DeltaPercent - -5) > 1e-9 {
+		t.Errorf("c11tester delta = %v, want -5", deltas[0].DeltaPercent)
+	}
+	if math.Abs(deltas[1].DeltaPercent-30) > 1e-9 {
+		t.Errorf("pctwm delta = %v, want +30", deltas[1].DeltaPercent)
+	}
+	if deltas[0].Regressed(15) {
+		t.Errorf("improvement flagged as regression: %+v", deltas[0])
+	}
+	if !deltas[1].Regressed(15) {
+		t.Errorf("+30%% not flagged as regression at 15%%: %+v", deltas[1])
+	}
+	if deltas[1].Regressed(40) {
+		t.Errorf("+30%% flagged as regression at 40%%: %+v", deltas[1])
+	}
+}
+
+// TestMeasureEngineShape: a tiny measurement produces internally
+// consistent, positive metrics.
+func TestMeasureEngineShape(t *testing.T) {
+	b, err := benchprog.ByName("dekker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := MeasureEngine(b.Name, b.Program(0), core.NewRandom(), 50, 1, b.Options())
+	if s.Benchmark != "dekker" || s.Strategy == "" {
+		t.Fatalf("bad identity: %+v", s)
+	}
+	if s.NsPerRun <= 0 || s.NsPerEvent <= 0 || s.RunsPerSec <= 0 {
+		t.Fatalf("non-positive metrics: %+v", s)
+	}
+	if s.NsPerEvent >= s.NsPerRun {
+		t.Fatalf("per-event cost %v not below per-run cost %v", s.NsPerEvent, s.NsPerRun)
+	}
+}

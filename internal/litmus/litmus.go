@@ -82,6 +82,14 @@ func (r *Report) String() string {
 // produced by newStrategy (one per run, seeded deterministically from
 // seed) and classifies outcomes.
 func (t *Test) Run(newStrategy func() engine.Strategy, runs int, seed int64) *Report {
+	return t.RunOpts(newStrategy, runs, seed, engine.Options{})
+}
+
+// RunOpts is Run with explicit engine options — e.g. the legacy baton
+// scheduler for conformance cross-checks. All rounds share one pooled
+// Runner (outcomes are identical to per-round engine.Run by the Runner's
+// determinism guarantee).
+func (t *Test) RunOpts(newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options) *Report {
 	rep := &Report{Test: t, Runs: runs, Counts: make(map[string]int)}
 	allowed := make(map[string]bool, len(t.Allowed))
 	for _, a := range t.Allowed {
@@ -98,8 +106,10 @@ func (t *Test) Run(newStrategy func() engine.Strategy, runs int, seed int64) *Re
 		return len(t.Allowed) > 0 && !allowed[out]
 	}
 	illegal := make(map[string]bool)
+	r := engine.NewRunner(t.Program, opts)
+	defer r.Close()
 	for i := 0; i < runs; i++ {
-		o := engine.Run(t.Program, newStrategy(), seed+int64(i), engine.Options{})
+		o := r.Run(newStrategy(), seed+int64(i))
 		if o.Aborted {
 			rep.Aborted++
 			continue

@@ -199,14 +199,27 @@ func (v View) String() string {
 // ready to use.
 type ViewArena struct {
 	free [][]TS
+	// max is the rounded-up high-water capacity requested from this arena.
+	// Every fresh allocation uses max, so once the largest view size of the
+	// program has been seen, recycled arrays fit all later requests and the
+	// freelist stops dropping undersized arrays (which previously caused a
+	// steady trickle of allocations when small and large clones interleave).
+	max int
 }
 
 // get returns a zero-length slice with capacity ≥ n, preferring recycled
-// arrays. Undersized recycled arrays are dropped; replacement capacities
-// are rounded up so the freelist converges on arrays that fit every view of
-// the program after a short warmup.
+// arrays. Fresh arrays are allocated at the arena's high-water capacity, so
+// the freelist converges on arrays that fit every view of the program after
+// a short warmup.
 func (a *ViewArena) get(n int) []TS {
-	if l := len(a.free); l > 0 {
+	if n > a.max {
+		c := 8
+		for c < n {
+			c *= 2
+		}
+		a.max = c
+	}
+	for l := len(a.free); l > 0; l-- {
 		s := a.free[l-1]
 		a.free[l-1] = nil
 		a.free = a.free[:l-1]
@@ -214,19 +227,22 @@ func (a *ViewArena) get(n int) []TS {
 			return s
 		}
 	}
-	c := 8
-	for c < n {
-		c *= 2
+	c := a.max
+	if c < 8 {
+		c = 8
 	}
 	return make([]TS, 0, c)
 }
 
-// Clone returns an independent copy of v backed by a recycled array.
+// Clone returns an independent copy of v backed by a recycled array. The
+// result always owns an arena array — even when v is empty — so a clone
+// that is grown afterwards (bag.Set, Join) and later Released returns
+// arena storage to the freelist. (An earlier version returned the zero
+// View for empty sources; such clones grew plain make()d arrays that were
+// then Released without ever having been taken from the arena, so the
+// freelist gained one array per relaxed write and grew without bound.)
 func (a *ViewArena) Clone(v View) View {
 	n := len(v.ts)
-	if n == 0 {
-		return View{}
-	}
 	ts := a.get(n)[:n]
 	copy(ts, v.ts)
 	return View{ts: ts}

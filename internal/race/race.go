@@ -174,11 +174,20 @@ func (d *Detector) OnAccess(tid memmodel.ThreadID, ev memmodel.EventID, loc memm
 	cur := Access{TID: tid, Event: ev, Write: write, NonAtomic: nonAtomic}
 	d.found = d.found[:0]
 
+	// Epoch classes are homogeneous (naWrites/naReads hold only non-atomic
+	// epochs, atomicWrites/atomicReads only atomic ones), so classes that
+	// cannot satisfy the conflict conditions — one write, one non-atomic —
+	// are skipped without scanning. The scan order of the remaining classes
+	// is unchanged, so reported races are identical.
 	d.check(s.naWrites, true, loc, cur, vc)
-	d.check(s.atomicWrites, true, loc, cur, vc)
+	if nonAtomic {
+		d.check(s.atomicWrites, true, loc, cur, vc)
+	}
 	if write {
 		d.check(s.naReads, false, loc, cur, vc)
-		d.check(s.atomicReads, false, loc, cur, vc)
+		if nonAtomic {
+			d.check(s.atomicReads, false, loc, cur, vc)
+		}
 	}
 
 	e := epoch{tid: tid, clock: clock, event: ev, write: write, nonAtomic: nonAtomic}

@@ -76,7 +76,7 @@ func (r *Recorder) PickRead(rc engine.ReadContext) int {
 }
 
 // OnEvent implements engine.Strategy.
-func (r *Recorder) OnEvent(ev memmodel.Event) { r.inner.OnEvent(ev) }
+func (r *Recorder) OnEvent(ev *memmodel.Event) { r.inner.OnEvent(ev) }
 
 // OnThreadStart implements engine.Strategy.
 func (r *Recorder) OnThreadStart(tid, parent memmodel.ThreadID) {
@@ -133,7 +133,7 @@ func (p *Player) PickRead(rc engine.ReadContext) int {
 }
 
 // OnEvent implements engine.Strategy.
-func (p *Player) OnEvent(memmodel.Event) {}
+func (p *Player) OnEvent(*memmodel.Event) {}
 
 // OnThreadStart implements engine.Strategy.
 func (p *Player) OnThreadStart(_, _ memmodel.ThreadID) {}

@@ -149,13 +149,24 @@ func (v VC) String() string {
 // ready to use.
 type Arena struct {
 	free [][]int32
+	// max is the rounded-up high-water capacity requested from this arena;
+	// fresh arrays are allocated at max so the freelist converges on arrays
+	// that fit every later request (see ViewArena in internal/memmodel).
+	max int
 }
 
 // get returns a zero-length slice with capacity ≥ n, preferring recycled
-// arrays. Undersized recycled arrays are dropped; replacements are
-// allocated with rounded-up capacity so the freelist converges quickly.
+// arrays. Fresh arrays are allocated at the arena's high-water capacity, so
+// the freelist converges quickly.
 func (a *Arena) get(n int) []int32 {
-	if l := len(a.free); l > 0 {
+	if n > a.max {
+		c := 8
+		for c < n {
+			c *= 2
+		}
+		a.max = c
+	}
+	for l := len(a.free); l > 0; l-- {
 		s := a.free[l-1]
 		a.free[l-1] = nil
 		a.free = a.free[:l-1]
@@ -163,19 +174,20 @@ func (a *Arena) get(n int) []int32 {
 			return s
 		}
 	}
-	c := 8
-	for c < n {
-		c *= 2
+	c := a.max
+	if c < 8 {
+		c = 8
 	}
 	return make([]int32, 0, c)
 }
 
-// Clone returns an independent copy of v backed by a recycled array.
+// Clone returns an independent copy of v backed by a recycled array. Like
+// ViewArena.Clone, the result always owns an arena array even when v is
+// empty, so clones grown afterwards (Join on an RMW's published clock) and
+// then Released return arena storage instead of growing the freelist with
+// arrays that were never taken from it.
 func (a *Arena) Clone(v VC) VC {
 	n := len(v.c)
-	if n == 0 {
-		return VC{}
-	}
 	c := a.get(n)[:n]
 	copy(c, v.c)
 	return VC{c: c}
