@@ -5,26 +5,38 @@
 // Usage:
 //
 //	pctwm-bench [-runs N] [-s SEED] [-workers N] [-d D] [-y H] [-bench a,b]
+//	            [-repro-dir DIR [-max-repros N]]
 //	            [-json] [-compare FILE [-max-regress PCT]] [-engine.baton]
 //
 // -workers spreads each cell's rounds over N worker goroutines (0 =
 // GOMAXPROCS, 1 = serial; results are identical for every worker count).
-// -json switches to the machine-readable engine performance snapshot:
-// instead of the hit-rate matrix, it emits one steady-state measurement
-// (ns/run, runs/sec, allocs/run) per benchmark × strategy on stdout — the
-// format committed as BENCH_engine.json. -compare measures the same
-// snapshot and diffs it benchstat-style against a committed baseline,
-// exiting 1 when any cell's ns_per_event regressed by more than
-// -max-regress percent — the CI bench gate. -engine.baton runs everything
-// on the legacy baton scheduler (escape hatch; same schedules, slower).
+// -repro-dir arms the campaign repro sink: the first -max-repros failing
+// trials per cell are flake-triaged and written as replayable JSON
+// bundles under DIR (see pctwm-replay). -json switches to the
+// machine-readable engine performance snapshot: instead of the hit-rate
+// matrix, it emits one steady-state measurement (ns/run, runs/sec,
+// allocs/run) per benchmark × strategy on stdout — the format committed
+// as BENCH_engine.json. -compare measures the same snapshot and diffs it
+// benchstat-style against a committed baseline, exiting 1 when any
+// cell's ns_per_event regressed by more than -max-regress percent — the
+// CI bench gate. -engine.baton runs everything on the legacy baton
+// scheduler (escape hatch; same schedules, slower).
+//
+// SIGINT/SIGTERM interrupt the run gracefully: in-flight trials are
+// aborted through the engine's cooperative cancellation, the partial
+// results measured so far are flushed (the -json snapshot is wrapped as
+// {"partial":true,"snapshots":[...]}), and the process exits nonzero.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -46,8 +58,16 @@ func main() {
 		compare    = flag.String("compare", "", "baseline snapshot JSON to diff the fresh measurement against (benchstat-style)")
 		maxRegress = flag.Float64("max-regress", 15, "with -compare: fail when ns_per_event regresses by more than this percent")
 		baton      = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
+		reproDir   = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
+		maxRepros  = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per benchmark × strategy cell")
 	)
 	flag.Parse()
+
+	// Graceful interruption: the first SIGINT/SIGTERM cancels the context
+	// (draining workers and flushing partial results); a second signal
+	// kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	dFor := func(b *benchprog.Benchmark) int {
 		if *depth >= 0 {
@@ -75,11 +95,10 @@ func main() {
 	}
 
 	if *compare != "" {
-		os.Exit(runCompare(benches, dFor, optsFor, *runs, *seed, *history, *compare, *maxRegress))
+		os.Exit(runCompare(ctx, benches, dFor, optsFor, *runs, *seed, *history, *compare, *maxRegress))
 	}
 	if *jsonOut {
-		emitSnapshot(os.Stdout, benches, dFor, optsFor, *runs, *seed, *history)
-		return
+		os.Exit(emitSnapshot(ctx, os.Stdout, benches, dFor, optsFor, *runs, *seed, *history))
 	}
 
 	type column struct {
@@ -108,7 +127,13 @@ func main() {
 		header += "\t" + c.name
 	}
 	fmt.Fprintln(tw, header)
+	interrupted := false
+	bundles := 0
 	for _, b := range benches {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		prog := b.Program(0)
 		opts := optsFor(b)
 		est := harness.EstimateParams(prog, 20, *seed^0x5eed, opts)
@@ -116,14 +141,52 @@ func main() {
 		for i, c := range cols {
 			factory := c.factory(b)
 			newStrategy := func() engine.Strategy { return factory(est) }
-			res := harness.RunTrialsPooled(prog, b.Detect, newStrategy, *runs, *seed+int64(10*i), opts, *workers)
+			camp := harness.Campaign{
+				Workers: *workers, Context: ctx,
+				ReproDir: *reproDir, MaxRepros: *maxRepros,
+			}
+			res := harness.RunCampaign(prog, b.Detect, newStrategy, *runs, *seed+int64(10*i), opts, camp)
+			bundles += reportFailures(b.Name, c.name, res)
+			interrupted = interrupted || res.Interrupted
 			lo, hi := res.CI95()
 			row += fmt.Sprintf("\t%.1f [%.0f,%.0f]", res.Rate(), lo, hi)
 		}
 		fmt.Fprintln(tw, row)
+		if interrupted {
+			break
+		}
 	}
 	tw.Flush()
+	if bundles > 0 {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: %d repro bundle(s) written under %s (replay with pctwm-replay)\n", bundles, *reproDir)
+	}
+	if interrupted {
+		fmt.Printf("(interrupted: partial results, %d rounds per completed cell, %v total)\n", *runs, time.Since(start).Round(time.Millisecond))
+		os.Exit(1)
+	}
 	fmt.Printf("(%d rounds per cell, %v total)\n", *runs, time.Since(start).Round(time.Millisecond))
+}
+
+// reportFailures prints the campaign's captured failures (repro bundles +
+// triage verdicts) to stderr and returns how many bundles were written.
+func reportFailures(bench, strategy string, res harness.TrialResult) int {
+	n := 0
+	for _, f := range res.Failures {
+		if f.BundlePath != "" {
+			n++
+		}
+		fmt.Fprintf(os.Stderr, "pctwm-bench: %s/%s seed %d: %s (%s, triage %s) -> %s\n",
+			bench, strategy, f.Seed, f.Kind, f.Msg, f.Triage, f.BundlePath)
+	}
+	if res.Nondeterministic > 0 {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: WARNING: %s/%s: %d failure(s) did not reproduce on re-run — determinism bug?\n",
+			bench, strategy, res.Nondeterministic)
+	}
+	if res.Panics > 0 {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: WARNING: %s/%s: %d trial(s) panicked outside the engine (quarantined)\n",
+			bench, strategy, res.Panics)
+	}
+	return n
 }
 
 // snapshotSweeps is how many times the snapshot measurement sweeps the
@@ -136,8 +199,10 @@ const snapshotSweeps = 3
 
 // measureSnapshot measures the steady-state trial loop per benchmark for
 // the random baseline and PCTWM. See snapshotSweeps for the noise model.
-func measureSnapshot(benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
-	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int) []harness.EngineSnapshot {
+// The context is checked between cells: on cancellation the cells fully
+// measured so far are returned with partial=true.
+func measureSnapshot(ctx context.Context, benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
+	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int) (snaps []harness.EngineSnapshot, partial bool) {
 	type cell struct {
 		prog *engine.Program
 		opts engine.Options
@@ -156,36 +221,80 @@ func measureSnapshot(benches []*benchprog.Benchmark, dFor func(*benchprog.Benchm
 		)
 	}
 
-	snaps := make([]harness.EngineSnapshot, len(cells))
+	snaps = make([]harness.EngineSnapshot, len(cells))
+	measured := 0
 	for sweep := 0; sweep < snapshotSweeps; sweep++ {
 		for i, c := range cells {
+			if ctx.Err() != nil {
+				// Keep only cells that completed at least one sweep.
+				return snaps[:measured], true
+			}
 			snap := harness.MeasureEngine(c.name, c.prog, c.mk(), runs, seed, c.opts)
 			if sweep == 0 || snap.NsPerRun < snaps[i].NsPerRun {
 				snaps[i] = snap
 			}
+			if sweep == 0 {
+				measured = i + 1
+			}
 		}
 	}
-	return snaps
+	return snaps, false
 }
 
-// emitSnapshot writes the JSON snapshot array to w (the BENCH_engine.json
-// format).
-func emitSnapshot(w *os.File, benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
-	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int) {
-	snaps := measureSnapshot(benches, dFor, optsFor, runs, seed, history)
+// partialSnapshot is the -json output format when the measurement was
+// interrupted: the plain snapshot array (the committed BENCH_engine.json
+// format) wrapped with an explicit partial marker so downstream tooling
+// never mistakes a truncated measurement for a complete one.
+type partialSnapshot struct {
+	Partial   bool                     `json:"partial"`
+	Snapshots []harness.EngineSnapshot `json:"snapshots"`
+}
+
+// emitSnapshot writes the JSON snapshot to w — the plain array
+// (BENCH_engine.json format) on a complete measurement, the
+// partial-marked wrapper when interrupted — and returns the exit status
+// (nonzero on interruption).
+func emitSnapshot(ctx context.Context, w *os.File, benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
+	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int) int {
+	snaps, partial := measureSnapshot(ctx, benches, dFor, optsFor, runs, seed, history)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(snaps); err != nil {
-		fmt.Fprintf(os.Stderr, "pctwm-bench: %v\n", err)
-		os.Exit(1)
+	var payload any = snaps
+	if partial {
+		payload = partialSnapshot{Partial: true, Snapshots: snaps}
 	}
+	if err := enc.Encode(payload); err != nil {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: %v\n", err)
+		return 1
+	}
+	if partial {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: interrupted: snapshot covers %d cell(s), marked partial\n", len(snaps))
+		return 1
+	}
+	return 0
+}
+
+// decodeSnapshots parses a snapshot file in either format: the plain
+// array (complete measurement, the committed baseline format) or the
+// {"partial":true,"snapshots":[...]} wrapper flushed by an interrupted
+// run.
+func decodeSnapshots(data []byte) ([]harness.EngineSnapshot, error) {
+	var arr []harness.EngineSnapshot
+	if err := json.Unmarshal(data, &arr); err == nil {
+		return arr, nil
+	}
+	var wrapped partialSnapshot
+	if err := json.Unmarshal(data, &wrapped); err == nil && wrapped.Snapshots != nil {
+		return wrapped.Snapshots, nil
+	}
+	return nil, fmt.Errorf("neither a snapshot array nor a partial snapshot wrapper")
 }
 
 // runCompare measures a fresh snapshot of the selected benchmarks, diffs
 // it against the committed baseline and prints a benchstat-style table.
 // The returned exit code is 1 when any compared cell's ns_per_event
 // regressed by more than maxRegress percent.
-func runCompare(benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
+func runCompare(ctx context.Context, benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
 	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int,
 	baselinePath string, maxRegress float64) int {
 	data, err := os.ReadFile(baselinePath)
@@ -193,8 +302,8 @@ func runCompare(benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) 
 		fmt.Fprintf(os.Stderr, "pctwm-bench: %v\n", err)
 		return 2
 	}
-	var baseline []harness.EngineSnapshot
-	if err := json.Unmarshal(data, &baseline); err != nil {
+	baseline, err := decodeSnapshots(data)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "pctwm-bench: %s: %v\n", baselinePath, err)
 		return 2
 	}
@@ -213,7 +322,11 @@ func runCompare(benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) 
 		}
 	}
 
-	fresh := measureSnapshot(benches, dFor, optsFor, runs, seed, history)
+	fresh, partial := measureSnapshot(ctx, benches, dFor, optsFor, runs, seed, history)
+	if partial {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: interrupted mid-measurement; comparison not judged\n")
+		return 2
+	}
 	deltas := harness.CompareSnapshots(kept, fresh)
 	if len(deltas) == 0 {
 		fmt.Fprintf(os.Stderr, "pctwm-bench: no comparable cells between %s and the fresh measurement\n", baselinePath)

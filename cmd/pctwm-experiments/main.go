@@ -3,33 +3,52 @@
 //
 // Usage:
 //
-//	pctwm-experiments [-quick] [-runs N] [-fig6runs N] [-perfruns N] [-seed S] [-workers N] [-section all|table1|table2|table3|table4|figure5|figure6]
+//	pctwm-experiments [-quick] [-runs N] [-fig6runs N] [-perfruns N] [-seed S] [-workers N]
+//	                  [-repro-dir DIR [-max-repros N]]
+//	                  [-section all|table1|table2|table3|table4|figure5|figure6]
 //
 // The default configuration uses the paper's experiment sizes (1000
 // rounds per table configuration, 500 per Figure 6 point, 10 timed runs
 // per Table 4 cell); -quick shrinks everything for a fast smoke run.
+// -repro-dir arms the campaign repro sink for every trial batch: failing
+// trials are flake-triaged and written as replayable bundles (see
+// pctwm-replay). SIGINT/SIGTERM stop the run gracefully: the rows
+// finished so far are flushed, a partial notice is printed, and the
+// process exits nonzero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"pctwm/internal/report"
 )
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "use the small smoke-run configuration")
-		runs     = flag.Int("runs", 0, "rounds per configuration for tables 2-3 and figure 5 (0 = default)")
-		fig6runs = flag.Int("fig6runs", 0, "rounds per figure 6 point (0 = default)")
-		perfruns = flag.Int("perfruns", 0, "timed runs per table 4 cell (0 = default)")
-		seed     = flag.Int64("seed", 0, "base random seed (0 = default)")
-		workers  = flag.Int("workers", 1, "worker goroutines per trial batch (0 = GOMAXPROCS, 1 = serial); results are identical for every worker count")
-		section  = flag.String("section", "all", "which artifact to regenerate: all, table1..table4, figure5, figure6, ablation, baselines, coverage, figure5csv, figure6csv")
+		quick     = flag.Bool("quick", false, "use the small smoke-run configuration")
+		runs      = flag.Int("runs", 0, "rounds per configuration for tables 2-3 and figure 5 (0 = default)")
+		fig6runs  = flag.Int("fig6runs", 0, "rounds per figure 6 point (0 = default)")
+		perfruns  = flag.Int("perfruns", 0, "timed runs per table 4 cell (0 = default)")
+		seed      = flag.Int64("seed", 0, "base random seed (0 = default)")
+		workers   = flag.Int("workers", 1, "worker goroutines per trial batch (0 = GOMAXPROCS, 1 = serial); results are identical for every worker count")
+		section   = flag.String("section", "all", "which artifact to regenerate: all, table1..table4, figure5, figure6, ablation, baselines, coverage, figure5csv, figure6csv")
+		reproDir  = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
+		maxRepros = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per trial batch")
 	)
 	flag.Parse()
+
+	// Graceful interruption: the first SIGINT/SIGTERM cancels the context
+	// (flushing the rows finished so far); a second signal kills the
+	// process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := report.Default()
 	if *quick {
@@ -48,6 +67,9 @@ func main() {
 		cfg.Seed = *seed
 	}
 	cfg.Workers = *workers
+	cfg.Context = ctx
+	cfg.ReproDir = *reproDir
+	cfg.MaxRepros = *maxRepros
 
 	sections := map[string]func(io.Writer, report.Config) error{
 		"all":        report.All,
@@ -69,6 +91,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := f(os.Stdout, cfg); err != nil {
+		if errors.Is(err, report.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "pctwm-experiments: interrupted: output above is partial\n")
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "pctwm-experiments: %v\n", err)
 		os.Exit(1)
 	}

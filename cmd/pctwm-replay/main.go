@@ -1,0 +1,157 @@
+// Command pctwm-replay re-executes repro bundles written by a trial
+// campaign (harness.Campaign.ReproDir) and verifies that the recorded
+// failing execution reproduces bit-identically.
+//
+// Usage:
+//
+//	pctwm-replay [-extra-writes N] [-v] bundle.json [bundle2.json ...]
+//
+// Each bundle names its program; the program is resolved against the
+// built-in registries (benchmarks, litmus tests, applications) and
+// fingerprint-checked (thread and location counts) before the replay, so
+// a bundle recorded against a different build of the program is rejected
+// instead of silently derailing. -extra-writes rebuilds benchmark
+// programs with the Figure-6 inserted relaxed writes, matching campaigns
+// that ran with them.
+//
+// Exit status: 0 when every bundle reproduced its recorded outcome, 1
+// when any replay diverged (outcome diff or schedule derail), 2 on usage,
+// load or program-resolution errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pctwm/internal/apps"
+	"pctwm/internal/benchprog"
+	"pctwm/internal/engine"
+	"pctwm/internal/litmus"
+	"pctwm/internal/replay"
+)
+
+func main() {
+	var (
+		extraWrites = flag.Int("extra-writes", 0, "rebuild benchmark programs with this many inserted relaxed writes (Figure 6 campaigns)")
+		verbose     = flag.Bool("v", false, "print the replayed outcome summary for every bundle")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pctwm-replay [-extra-writes N] [-v] bundle.json [bundle2.json ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		switch replayBundle(path, *extraWrites, *verbose) {
+		case 1:
+			if exit == 0 {
+				exit = 1
+			}
+		case 2:
+			exit = 2
+		}
+	}
+	os.Exit(exit)
+}
+
+// replayBundle loads, resolves and verifies one bundle, printing a
+// one-line verdict (plus details on divergence). Returns an exit status
+// contribution: 0 reproduced, 1 diverged, 2 load/resolve error.
+func replayBundle(path string, extraWrites int, verbose bool) int {
+	b, err := replay.LoadBundle(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pctwm-replay: %s: %v\n", path, err)
+		return 2
+	}
+	prog, err := resolveProgram(b, extraWrites)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pctwm-replay: %s: %v\n", path, err)
+		return 2
+	}
+
+	if b.HarnessPanic != "" {
+		// The recorded failure was a panic outside the engine (strategy or
+		// harness bug); the panicking strategy itself is not serializable,
+		// so the replay is best-effort: re-run whatever decisions were
+		// recorded and report, but do not judge reproduction.
+		fmt.Printf("%s: %s seed=%d: harness panic bundle (triage %s): %s\n",
+			path, b.Program, b.Seed, b.Triage, b.HarnessPanic)
+		if verbose && b.Stack != "" {
+			fmt.Printf("  recorded stack:\n%s\n", b.Stack)
+		}
+		return 0
+	}
+
+	res, err := b.Verify(prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pctwm-replay: %s: %v\n", path, err)
+		return 2
+	}
+	if res.Match {
+		fmt.Printf("%s: %s %s seed=%d: REPRODUCED (%d steps, triage %s)\n",
+			path, b.Program, b.Strategy, b.Seed, res.Summary.Steps, b.Triage)
+		if verbose {
+			printSummary(res.Summary)
+		}
+		return 0
+	}
+	fmt.Printf("%s: %s %s seed=%d: DIVERGED (derails=%d, triage %s)\n",
+		path, b.Program, b.Strategy, b.Seed, res.Derails, b.Triage)
+	for _, d := range res.Diffs {
+		fmt.Printf("  diff %s\n", d)
+	}
+	if verbose {
+		printSummary(res.Summary)
+	}
+	return 1
+}
+
+func printSummary(s replay.OutcomeSummary) {
+	fmt.Printf("  steps=%d events=%d comm=%d bug=%v races=%d aborted=%v deadlocked=%v",
+		s.Steps, s.Events, s.CommEvents, s.BugHit, s.Races, s.Aborted, s.Deadlocked)
+	if s.ErrKind != "" {
+		fmt.Printf(" err=%s(%s)", s.ErrKind, s.ErrMsg)
+	}
+	fmt.Println()
+	for _, m := range s.BugMessages {
+		fmt.Printf("  bug: %s\n", m)
+	}
+}
+
+// resolveProgram finds the program the bundle was recorded against by
+// name across the built-in registries, then fingerprint-checks it.
+func resolveProgram(b *replay.Bundle, extraWrites int) (*engine.Program, error) {
+	var candidates []*engine.Program
+	for _, bench := range benchprog.All() {
+		candidates = append(candidates, bench.Program(extraWrites), bench.FixedProgram())
+	}
+	for _, t := range litmus.Suite() {
+		candidates = append(candidates, t.Program)
+	}
+	for _, a := range apps.All() {
+		candidates = append(candidates, a.Program())
+	}
+
+	var named []*engine.Program
+	for _, p := range candidates {
+		if p.Name() == b.Program {
+			if b.Matches(p) {
+				return p, nil
+			}
+			named = append(named, p)
+		}
+	}
+	if len(named) > 0 {
+		p := named[0]
+		return nil, fmt.Errorf(
+			"program %q found but fingerprint differs: bundle has %d threads/%d locs, this build has %d/%d (recorded against a different build or -extra-writes?)",
+			b.Program, b.ProgramThreads, b.ProgramLocs, p.NumThreads(), p.NumLocs())
+	}
+	return nil, fmt.Errorf("program %q not found in the benchmark, litmus or application registries", b.Program)
+}

@@ -100,13 +100,42 @@ type Engine struct {
 
 	stepsSinceProgress int
 	stopped            bool
+
+	// Watchdog state (cancellation + wall-clock bound), refreshed per run
+	// by reset. watchdogOn gates the hot path: when neither a Context nor
+	// a MaxWallTime is configured, driveStep pays a single cached-bool
+	// branch and never touches a channel or the clock.
+	watchdogOn bool
+	ctxDone    <-chan struct{}
+	deadline   time.Time
 }
 
+// watchdogInterval is how many scheduler grants pass between cancellation
+// / deadline checks (power of two; the check is `steps&watchdogMask==0`).
+// 64 keeps the poll off the per-event profile while bounding the overrun
+// of a canceled or timed-out run to tens of microseconds of stepping.
+const (
+	watchdogInterval = 64
+	watchdogMask     = watchdogInterval - 1
+)
+
 // fvEntry is one interned FinalValues map: the value vector (in static
-// location order) it was built from, and the shared map.
+// location order) it was built from, its FNV-1a hash (short-circuits the
+// lookup scan), and the shared map.
 type fvEntry struct {
+	hash uint64
 	vals []memmodel.Value
 	m    map[string]memmodel.Value
+}
+
+// fvHash is FNV-1a over the value vector. Collisions are harmless: the
+// full vector is still compared on a hash match.
+func fvHash(vals []memmodel.Value) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range vals {
+		h = (h ^ uint64(v)) * 1099511628211
+	}
+	return h
 }
 
 type threadDone struct {
@@ -218,6 +247,45 @@ func (e *Engine) reset(strat Strategy, seed int64) {
 	}
 	e.stepsSinceProgress = 0
 	e.stopped = false
+	e.ctxDone = nil
+	if e.opts.Context != nil {
+		e.ctxDone = e.opts.Context.Done()
+	}
+	e.deadline = time.Time{}
+	if e.opts.MaxWallTime > 0 {
+		e.deadline = time.Now().Add(e.opts.MaxWallTime)
+	}
+	e.watchdogOn = e.ctxDone != nil || e.opts.MaxWallTime > 0
+}
+
+// checkInterrupt polls the run's cancellation context and wall-clock
+// deadline (called from driveStep every watchdogInterval grants). It
+// reports true when the run must end, having recorded the structured
+// cause. Cancellation wins over the deadline so an operator interrupt is
+// never misreported as a timeout.
+func (e *Engine) checkInterrupt() bool {
+	if e.ctxDone != nil {
+		select {
+		case <-e.ctxDone:
+			e.outcome.Canceled = true
+			msg := "run canceled"
+			if err := e.opts.Context.Err(); err != nil {
+				msg = "run canceled: " + err.Error()
+			}
+			e.setRunError(&RunError{Kind: CanceledError, Msg: msg})
+			return true
+		default:
+		}
+	}
+	if !e.deadline.IsZero() && time.Now().After(e.deadline) {
+		e.outcome.TimedOut = true
+		e.setRunError(&RunError{
+			Kind: TimeoutError,
+			Msg:  fmt.Sprintf("wall-clock limit (%v) exceeded", e.opts.MaxWallTime),
+		})
+		return true
+	}
+	return false
 }
 
 // finalize snapshots everything the Outcome needs from engine state, then
@@ -356,6 +424,9 @@ func (e *Engine) runBaton() {
 // StopOnBug) and no thread should be woken. The caller must hold the
 // baton.
 func (e *Engine) driveStep() (granted *Thread, res response, ended bool) {
+	if e.watchdogOn && e.outcome.Steps&watchdogMask == 0 && e.checkInterrupt() {
+		return nil, response{}, true
+	}
 	enabled := e.enabledOps()
 	if len(enabled) == 0 {
 		if e.liveThreads() > 0 {
@@ -704,11 +775,13 @@ func (e *Engine) finalValues() map[string]memmodel.Value {
 		}
 	}
 	e.fvScratch = buf
+	var h uint64
 	if !miss {
+		h = fvHash(buf)
 	outer:
 		for i := range e.fvCache {
 			ent := &e.fvCache[i]
-			if len(ent.vals) != len(buf) {
+			if ent.hash != h || len(ent.vals) != len(buf) {
 				continue
 			}
 			for j := range buf {
@@ -727,6 +800,7 @@ func (e *Engine) finalValues() map[string]memmodel.Value {
 	}
 	if !miss && len(e.fvCache) < maxFinalValueCache {
 		e.fvCache = append(e.fvCache, fvEntry{
+			hash: h,
 			vals: append([]memmodel.Value(nil), buf...),
 			m:    vals,
 		})
@@ -735,8 +809,11 @@ func (e *Engine) finalValues() map[string]memmodel.Value {
 }
 
 // maxFinalValueCache bounds the per-Runner interning cache of FinalValues
-// maps; programs with more distinct final states fall back to building
-// fresh maps for the overflow.
+// maps: a campaign whose program reaches more distinct final states than
+// this (or that keeps a Runner hot across many configurations) builds
+// fresh maps for the overflow instead of growing Runner-retained memory
+// without limit. The cached entries' hashes keep the lookup scan cheap
+// even when every run misses.
 const maxFinalValueCache = 64
 
 // teardownBaton unwinds the legacy protocol's per-run goroutines.

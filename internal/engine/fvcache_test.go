@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"pctwm/internal/memmodel"
+)
+
+// coinStrategy schedules uniformly at random among the enabled threads
+// and read candidates — just enough nondeterminism to drive a Runner
+// through many distinct final states.
+type coinStrategy struct{ rng *rand.Rand }
+
+func (s *coinStrategy) Name() string                      { return "coin" }
+func (s *coinStrategy) Begin(_ ProgramInfo, r *rand.Rand) { s.rng = r }
+func (s *coinStrategy) NextThread(en []PendingOp) memmodel.ThreadID {
+	return en[s.rng.Intn(len(en))].TID
+}
+func (s *coinStrategy) PickRead(rc ReadContext) int          { return s.rng.Intn(len(rc.Candidates)) }
+func (s *coinStrategy) OnEvent(*memmodel.Event)              {}
+func (s *coinStrategy) OnThreadStart(_, _ memmodel.ThreadID) {}
+func (s *coinStrategy) OnSpin(memmodel.ThreadID)             {}
+
+// fvManyProgram reaches up to 2^n distinct final states: two threads race
+// to be the last writer of each of n locations, so every subset of
+// "thread B wrote last" is a possible final value vector.
+func fvManyProgram(n int) *Program {
+	p := NewProgram("fv-many")
+	locs := make([]memmodel.Loc, n)
+	for i := range locs {
+		locs[i] = p.Loc(fmt.Sprintf("L%d", i), 0)
+	}
+	mk := func(v memmodel.Value) ThreadFunc {
+		return func(th *Thread) {
+			for _, l := range locs {
+				th.Store(l, v, memmodel.Relaxed)
+			}
+		}
+	}
+	p.AddThread(mk(1))
+	p.AddThread(mk(2))
+	return p
+}
+
+// TestFinalValuesCacheBounded: the per-Runner FinalValues interning cache
+// must stay capped at maxFinalValueCache entries no matter how many
+// distinct final states a campaign reaches — overflow states fall back to
+// fresh maps instead of growing Runner-retained memory without limit.
+func TestFinalValuesCacheBounded(t *testing.T) {
+	const n = 8 // 2^8 = 256 reachable final states >> the cache cap
+	p := fvManyProgram(n)
+	r := NewRunner(p, Options{})
+	defer r.Close()
+
+	strat := &coinStrategy{}
+	distinct := map[[n]memmodel.Value]bool{}
+	for seed := 0; seed < 4000; seed++ {
+		o := r.Run(strat, int64(seed))
+		var key [n]memmodel.Value
+		for i := 0; i < n; i++ {
+			v, ok := o.FinalValues[fmt.Sprintf("L%d", i)]
+			if !ok {
+				t.Fatalf("seed %d: FinalValues missing L%d: %v", seed, i, o.FinalValues)
+			}
+			if v != 1 && v != 2 {
+				t.Fatalf("seed %d: L%d = %d, want 1 or 2", seed, i, v)
+			}
+			key[i] = v
+		}
+		distinct[key] = true
+		if got := len(r.e.fvCache); got > maxFinalValueCache {
+			t.Fatalf("seed %d: fvCache grew to %d entries, cap is %d", seed, got, maxFinalValueCache)
+		}
+	}
+	if len(distinct) <= maxFinalValueCache {
+		t.Fatalf("test program reached only %d distinct final states; need > %d to exercise the cap",
+			len(distinct), maxFinalValueCache)
+	}
+	if got := len(r.e.fvCache); got != maxFinalValueCache {
+		t.Fatalf("fvCache holds %d entries after overflow, want exactly the cap %d", got, maxFinalValueCache)
+	}
+}
+
+// TestFinalValuesHashShortCircuit: interning still returns the shared map
+// for repeated final states (the hash must not break cache hits).
+func TestFinalValuesHashShortCircuit(t *testing.T) {
+	p := fvManyProgram(2)
+	r := NewRunner(p, Options{})
+	defer r.Close()
+	seen := map[[2]memmodel.Value]map[string]memmodel.Value{}
+	strat := &coinStrategy{}
+	for seed := 0; seed < 200; seed++ {
+		o := r.Run(strat, int64(seed))
+		key := [2]memmodel.Value{o.FinalValues["L0"], o.FinalValues["L1"]}
+		if prev, ok := seen[key]; ok {
+			// Same final state → the interned map must be shared (pointer
+			// equality via reflect on map headers is overkill; spot-check by
+			// mutating nothing and comparing addresses through fmt).
+			if fmt.Sprintf("%p", prev) != fmt.Sprintf("%p", o.FinalValues) {
+				t.Fatalf("seed %d: final state %v rebuilt a fresh map instead of interning", seed, key)
+			}
+		} else {
+			seen[key] = o.FinalValues
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("only %d distinct final states observed; test too weak", len(seen))
+	}
+}

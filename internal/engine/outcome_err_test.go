@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"strings"
 	"testing"
@@ -99,6 +100,38 @@ func TestRunErrorDeadlock(t *testing.T) {
 		if !strings.Contains(o.Err.Msg, "t1") || !strings.Contains(o.Err.Msg, "t2") {
 			t.Errorf("baton=%v: Err.Msg = %q, want both blocked threads named", baton, o.Err.Msg)
 		}
+		if !o.Failed() {
+			t.Errorf("baton=%v: a deadlocked run must report Failed()", baton)
+		}
+	}
+}
+
+// TestFailedAccountsForErr: Failed() reflects the structured error —
+// panics and deadlocks are failures, resource aborts (step limit,
+// timeout, cancellation) are not, and a panicking run (which sets both
+// BugHit and a PanicError) is counted exactly once.
+func TestFailedAccountsForErr(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Outcome
+		want bool
+	}{
+		{"clean", Outcome{}, false},
+		{"bughit", Outcome{BugHit: true}, true},
+		{"panic-sets-both", Outcome{BugHit: true, Err: &RunError{Kind: PanicError}}, true},
+		{"panic-err-only", Outcome{Err: &RunError{Kind: PanicError}}, true},
+		{"deadlock", Outcome{Deadlocked: true, Err: &RunError{Kind: DeadlockError}}, true},
+		{"step-limit", Outcome{Aborted: true, Err: &RunError{Kind: StepLimitError}}, false},
+		{"timeout", Outcome{TimedOut: true, Err: &RunError{Kind: TimeoutError}}, false},
+		{"canceled", Outcome{Canceled: true, Err: &RunError{Kind: CanceledError}}, false},
+	}
+	for _, c := range cases {
+		if got := c.o.Failed(); got != c.want {
+			t.Errorf("%s: Failed() = %v, want %v", c.name, got, c.want)
+		}
+		if got := c.o.Abnormal(); got != (c.o.Err != nil) {
+			t.Errorf("%s: Abnormal() = %v, want %v", c.name, got, c.o.Err != nil)
+		}
 	}
 }
 
@@ -146,6 +179,110 @@ func TestRunErrorNilOnCleanAndAssertRuns(t *testing.T) {
 	}
 }
 
+// TestRunErrorTimeout: a livelocked execution with a wall-clock bound is
+// cut off with a TimeoutError long before it burns through a huge step
+// budget, on both scheduler protocols.
+func TestRunErrorTimeout(t *testing.T) {
+	for _, baton := range []bool{false, true} {
+		o := run(t, spinForeverProgram(), &scriptStrategy{readPick: 0},
+			Options{MaxSteps: 1 << 30, MaxWallTime: 2 * time.Millisecond, Baton: baton})
+		if !o.TimedOut {
+			t.Fatalf("baton=%v: expected a timed-out run: %+v", baton, o)
+		}
+		if o.Err == nil || o.Err.Kind != TimeoutError {
+			t.Fatalf("baton=%v: Err = %+v, want TimeoutError", baton, o.Err)
+		}
+		if !strings.Contains(o.Err.Msg, "2ms") {
+			t.Errorf("baton=%v: Err.Msg = %q, want the configured limit named", baton, o.Err.Msg)
+		}
+		if o.Aborted {
+			t.Errorf("baton=%v: timeout also reported as step-limit abort", baton)
+		}
+		if o.Failed() {
+			t.Errorf("baton=%v: a timeout must not count as a program failure", baton)
+		}
+		if !o.Abnormal() {
+			t.Errorf("baton=%v: a timeout must count as abnormal", baton)
+		}
+	}
+}
+
+// TestRunErrorCanceled: a pre-canceled context ends the run at the first
+// watchdog check with a CanceledError; the outcome is marked Canceled and
+// is not a program failure.
+func TestRunErrorCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, baton := range []bool{false, true} {
+		o := run(t, spinForeverProgram(), &scriptStrategy{readPick: 0},
+			Options{MaxSteps: 1 << 30, Context: ctx, Baton: baton})
+		if !o.Canceled {
+			t.Fatalf("baton=%v: expected a canceled run: %+v", baton, o)
+		}
+		if o.Err == nil || o.Err.Kind != CanceledError {
+			t.Fatalf("baton=%v: Err = %+v, want CanceledError", baton, o.Err)
+		}
+		if o.Steps != 0 {
+			t.Errorf("baton=%v: pre-canceled run stepped %d times, want 0", baton, o.Steps)
+		}
+		if o.Failed() {
+			t.Errorf("baton=%v: cancellation must not count as a program failure", baton)
+		}
+	}
+}
+
+// TestCancelMidRunReleasesThreads: canceling from another goroutine while
+// the engine livelocks aborts the in-flight run within the watchdog
+// granularity; the threads parked mid-execution are unwound (the next run
+// on the same Runner works) and no goroutines leak after Close — on both
+// protocols.
+func TestCancelMidRunReleasesThreads(t *testing.T) {
+	for _, baton := range []bool{false, true} {
+		base := runtime.NumGoroutine()
+		ctx, cancel := context.WithCancel(context.Background())
+		r := NewRunner(spinForeverProgram(), Options{
+			MaxSteps: 1 << 30, Context: ctx, Baton: baton,
+		})
+		timer := time.AfterFunc(2*time.Millisecond, cancel)
+		o := r.Run(&scriptStrategy{readPick: 0}, 1)
+		timer.Stop()
+		if !o.Canceled || o.Err == nil || o.Err.Kind != CanceledError {
+			t.Fatalf("baton=%v: expected a canceled run, got %+v", baton, o)
+		}
+		// The Runner must stay usable: the context is still canceled, so a
+		// second run aborts immediately instead of wedging on stale state.
+		o2 := r.Run(&scriptStrategy{readPick: 0}, 2)
+		if !o2.Canceled {
+			t.Fatalf("baton=%v: second run after cancel: %+v", baton, o2)
+		}
+		r.Close()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			runtime.GC()
+			if n := runtime.NumGoroutine(); n <= base {
+				break
+			} else if time.Now().After(deadline) {
+				t.Fatalf("baton=%v: goroutines leaked after canceled runs + Close: base %d, now %d", baton, base, n)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
+
+// TestUncanceledContextDoesNotPerturb: attaching a live (never canceled)
+// context must not change the schedule or outcome for a fixed seed.
+func TestUncanceledContextDoesNotPerturb(t *testing.T) {
+	p := spinForeverProgram()
+	plain := run(t, p, &scriptStrategy{readPick: 0}, Options{MaxSteps: 500})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx := run(t, p, &scriptStrategy{readPick: 0}, Options{MaxSteps: 500, Context: ctx})
+	if plain.Steps != withCtx.Steps || plain.Events != withCtx.Events {
+		t.Fatalf("live context perturbed the run: %d/%d steps, %d/%d events",
+			plain.Steps, withCtx.Steps, plain.Events, withCtx.Events)
+	}
+}
+
 // TestRunErrorKindString covers the diagnostic names, including the
 // zero value.
 func TestRunErrorKindString(t *testing.T) {
@@ -153,6 +290,8 @@ func TestRunErrorKindString(t *testing.T) {
 		PanicError:      "panic",
 		DeadlockError:   "deadlock",
 		StepLimitError:  "step-limit",
+		TimeoutError:    "timeout",
+		CanceledError:   "canceled",
 		RunErrorKind(0): "unknown",
 	}
 	for k, want := range cases {

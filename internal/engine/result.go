@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"time"
 
 	"pctwm/internal/memmodel"
@@ -45,6 +46,10 @@ const (
 	DeadlockError
 	// StepLimitError: the execution hit Options.MaxSteps.
 	StepLimitError
+	// TimeoutError: the execution exceeded Options.MaxWallTime.
+	TimeoutError
+	// CanceledError: Options.Context was canceled mid-run.
+	CanceledError
 )
 
 // String names the kind for diagnostics.
@@ -56,6 +61,10 @@ func (k RunErrorKind) String() string {
 		return "deadlock"
 	case StepLimitError:
 		return "step-limit"
+	case TimeoutError:
+		return "timeout"
+	case CanceledError:
+		return "canceled"
 	}
 	return "unknown"
 }
@@ -99,6 +108,13 @@ type Outcome struct {
 	// Deadlocked is true when unfinished threads remained but none was
 	// enabled (a join cycle).
 	Deadlocked bool
+	// TimedOut is true when the execution exceeded Options.MaxWallTime
+	// (Err.Kind is TimeoutError).
+	TimedOut bool
+	// Canceled is true when Options.Context was canceled mid-run (Err.Kind
+	// is CanceledError). The run's threads were unwound cleanly; the
+	// Outcome summarizes the partial execution.
+	Canceled bool
 	// FinalValues maps static location names to their mo-maximal values.
 	// Outcomes of the same Runner that ended in the same final state share
 	// one interned map; treat it as read-only.
@@ -113,16 +129,53 @@ type Outcome struct {
 	Duration time.Duration
 }
 
-// Failed reports whether the execution exposed a bug, counting data races
-// as failures (the C11Tester notion used for the application benchmarks).
-func (o *Outcome) Failed() bool { return o.BugHit || len(o.Races) > 0 }
+// Failed reports whether the execution exposed a bug: an assertion
+// failure or thread crash (BugHit), a data race (the C11Tester notion
+// used for the application benchmarks), or a structured abnormal ending
+// that indicts the program — a panic or a deadlock. Resource aborts
+// (step limit, wall-clock timeout, cancellation) are NOT failures: they
+// say the run was cut short, not that the program misbehaved; use
+// Abnormal (or inspect Err directly) to see those.
+//
+// Panicking runs set both BugHit and a PanicError, but Failed counts a
+// run once — callers tallying Failed alongside per-kind counters (e.g.
+// harness.TrialResult.Deadlock) must not sum the two.
+func (o *Outcome) Failed() bool {
+	if o.BugHit || len(o.Races) > 0 {
+		return true
+	}
+	if o.Err != nil && (o.Err.Kind == PanicError || o.Err.Kind == DeadlockError) {
+		return true
+	}
+	return false
+}
 
-// Options configure one execution.
+// Abnormal reports whether the execution ended abnormally for any reason
+// (panic, deadlock, step limit, wall-clock timeout, cancellation).
+func (o *Outcome) Abnormal() bool { return o.Err != nil }
+
+// Options configure one execution. The zero value gives the documented
+// defaults; Options is JSON-serializable (repro bundles embed it) —
+// non-serializable fields carry `json:"-"` and must be re-attached after
+// decoding.
 type Options struct {
 	// MaxSteps aborts the execution after this many scheduler grants
 	// (guards against livelocks the strategy cannot escape). 0 means the
 	// default of 100000.
 	MaxSteps int
+	// MaxWallTime bounds one execution's wall-clock duration. The step
+	// loop checks a precomputed deadline every watchdogInterval grants, so
+	// a livelocked execution under a buggy strategy is cut off in bounded
+	// real time instead of spinning to MaxSteps; the run ends with a
+	// TimeoutError and unwinds its threads cleanly. 0 disables the bound.
+	// Timeouts are inherently wall-clock-dependent: the same seed may time
+	// out at a different step (or not at all) on a re-run.
+	MaxWallTime time.Duration
+	// Context, when non-nil, cancels in-flight executions: the step loop
+	// polls Context.Done() every watchdogInterval grants and ends the run
+	// with a CanceledError, releasing coroutines with no goroutine leaks.
+	// An un-canceled Context does not perturb schedules or outcomes.
+	Context context.Context `json:"-"`
 	// SpinThreshold is the number of consecutive identical loads after
 	// which the strategy's OnSpin fires. 0 means the default of 12.
 	SpinThreshold int

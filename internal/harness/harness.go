@@ -64,6 +64,15 @@ type TrialResult struct {
 	Hits     int
 	Aborted  int
 	Deadlock int
+	// Panics counts trials whose panic escaped the engine (a strategy or
+	// harness bug): the worker recovered, quarantined its Runner, and kept
+	// going (see RunCampaign).
+	Panics int
+	// Timeouts counts trials aborted by the per-trial wall-clock watchdog
+	// (engine.Options.MaxWallTime).
+	Timeouts int
+	// Canceled counts trials aborted mid-run by campaign cancellation.
+	Canceled int
 	// TotalEvents across all runs, for averages.
 	TotalEvents int
 	// Elapsed is the summed per-run execution time. With parallel workers
@@ -73,6 +82,22 @@ type TrialResult struct {
 	// Wall is the wall-clock duration of the whole batch (equal to Elapsed
 	// up to loop overhead when the batch ran serially).
 	Wall time.Duration
+	// Interrupted marks a campaign stopped early by context cancellation:
+	// Runs reflects completed trials only.
+	Interrupted bool
+	// Stuck marks a campaign aborted by the stuck-worker watchdog
+	// (Campaign.StuckTimeout); StuckDiag carries the diagnostics (wedged
+	// workers + goroutine dump). The counts cover finished workers only.
+	Stuck     bool
+	StuckDiag string
+	// Failures lists the captured failing trials with their flake-triage
+	// verdicts and repro-bundle paths (populated only when
+	// Campaign.ReproDir is set; at most Campaign.MaxRepros entries).
+	Failures []TrialFailure
+	// Nondeterministic counts captured failures whose triage re-run
+	// diverged from the original outcome for the same (program, strategy,
+	// seed) — an engine or strategy determinism bug.
+	Nondeterministic int
 }
 
 // Rate returns the bug hitting rate in percent (the paper's metric).
@@ -107,9 +132,24 @@ func (r TrialResult) AvgTime() time.Duration {
 }
 
 func (r TrialResult) String() string {
-	return fmt.Sprintf("hits %d/%d (%.1f%%), avg %.0f events, %v cpu/run, %v wall",
+	s := fmt.Sprintf("hits %d/%d (%.1f%%), avg %.0f events, %v cpu/run, %v wall",
 		r.Hits, r.Runs, r.Rate(), r.AvgEvents(),
 		r.AvgTime().Round(time.Microsecond), r.Wall.Round(time.Millisecond))
+	if r.Panics > 0 {
+		s += fmt.Sprintf(", %d panic(s)", r.Panics)
+	}
+	if r.Timeouts > 0 {
+		s += fmt.Sprintf(", %d timeout(s)", r.Timeouts)
+	}
+	if r.Nondeterministic > 0 {
+		s += fmt.Sprintf(", %d NONDETERMINISTIC", r.Nondeterministic)
+	}
+	if r.Stuck {
+		s += ", STUCK"
+	} else if r.Interrupted {
+		s += ", interrupted"
+	}
+	return s
 }
 
 // RunTrials executes prog for runs rounds on one pooled Runner, counting
@@ -152,22 +192,45 @@ func PCTWMFactory(d, h int) StrategyFactory {
 // BenchTrials profiles the benchmark, then runs trials with the factory
 // spread over the given number of workers (0 = GOMAXPROCS, 1 = serial).
 func BenchTrials(b *benchprog.Benchmark, factory StrategyFactory, runs int, seed int64, extraWrites, workers int) (TrialResult, Estimate) {
+	return BenchTrialsCampaign(b, factory, runs, seed, extraWrites, Campaign{Workers: workers})
+}
+
+// BenchTrialsCampaign is BenchTrials with the full campaign resilience
+// layer (cancellation, repro bundles, watchdogs). The parameter estimate
+// runs before the trials and is not subject to the campaign context.
+func BenchTrialsCampaign(b *benchprog.Benchmark, factory StrategyFactory, runs int, seed int64, extraWrites int, camp Campaign) (TrialResult, Estimate) {
 	prog := b.Program(extraWrites)
 	opts := b.Options()
 	est := EstimateParams(prog, 20, seed^0x5eed, opts)
-	res := RunTrialsPooled(prog, b.Detect, func() engine.Strategy { return factory(est) }, runs, seed, opts, workers)
+	res := RunCampaign(prog, b.Detect, func() engine.Strategy { return factory(est) }, runs, seed, opts, camp)
 	return res, est
 }
 
 // BestOverH runs PCTWM for h = 1..maxH and returns the best rate together
 // with the h that achieved it (Table 2 reports "Rate (h:x)").
 func BestOverH(b *benchprog.Benchmark, d, maxH, runs int, seed int64, workers int) (TrialResult, int) {
+	return BestOverHCampaign(b, d, maxH, runs, seed, Campaign{Workers: workers})
+}
+
+// BestOverHCampaign is BestOverH under a campaign: each h-sweep row runs
+// with the campaign's resilience knobs, and the sweep stops early (returning
+// the best row so far) when the campaign context is canceled.
+func BestOverHCampaign(b *benchprog.Benchmark, d, maxH, runs int, seed int64, camp Campaign) (TrialResult, int) {
 	var best TrialResult
 	bestH := 1
 	for h := 1; h <= maxH; h++ {
-		res, _ := BenchTrials(b, PCTWMFactory(d, h), runs, seed+int64(1000*h), 0, workers)
+		if camp.Context != nil && camp.Context.Err() != nil {
+			best.Interrupted = true
+			break
+		}
+		res, _ := BenchTrialsCampaign(b, PCTWMFactory(d, h), runs, seed+int64(1000*h), 0, camp)
 		if res.Rate() > best.Rate() || (h == 1 && best.Runs == 0) {
 			best, bestH = res, h
+		}
+		if res.Interrupted || res.Stuck {
+			best.Interrupted = best.Interrupted || res.Interrupted
+			best.Stuck = best.Stuck || res.Stuck
+			break
 		}
 	}
 	return best, bestH

@@ -1,12 +1,16 @@
 package harness
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pctwm/internal/engine"
+	"pctwm/internal/replay"
 )
 
 // ResolveWorkers maps a -workers style flag value to an actual worker
@@ -25,6 +29,65 @@ func ResolveWorkers(workers, runs int) int {
 	return workers
 }
 
+// Campaign configures the resilience layer of a trial batch: worker
+// count, cooperative cancellation, the campaign-level stuck-worker
+// watchdog, and the repro-bundle sink with its flake triage. The zero
+// value reproduces the plain RunTrialsPooled behaviour (serial, no
+// watchdogs, no bundles) with zero hot-path overhead.
+type Campaign struct {
+	// Workers spreads the rounds over this many goroutines (0 =
+	// GOMAXPROCS, 1 = serial). Hit counts and event totals are identical
+	// for every worker count.
+	Workers int
+	// Context cancels the campaign cooperatively: workers stop claiming
+	// new rounds, and the in-flight run of every worker is aborted by the
+	// engine's step-loop watchdog (CanceledError). The merged result is
+	// marked Interrupted with Runs reflecting completed trials only.
+	Context context.Context
+	// ReproDir enables the repro sink: the first MaxRepros failing trials
+	// (bug hits, races, panics, deadlocks, timeouts — not step-limit
+	// aborts or cancellations) are re-run once on a fresh Runner with a
+	// decision recorder, triaged for determinism, and written as JSON
+	// bundles under this directory (see replay.Bundle / pctwm-replay).
+	ReproDir string
+	// MaxRepros caps how many failures are triaged and bundled
+	// (default 3 when ReproDir is set). The cap bounds the extra work:
+	// the happy path and all failures beyond the cap cost nothing.
+	MaxRepros int
+	// StuckTimeout arms the campaign watchdog: if any worker goes this
+	// long without finishing a trial, the campaign cancels the remaining
+	// work, collects diagnostics (stuck seeds + goroutine dump), waits a
+	// short grace period for workers to unwind, and returns a partial
+	// result marked Stuck instead of hanging forever. A worker wedged
+	// outside the engine's step loop (e.g. a ThreadFunc spinning without
+	// memory operations) cannot be killed and is leaked — the diagnostics
+	// name it. 0 disables the watchdog.
+	StuckTimeout time.Duration
+}
+
+// defaultMaxRepros bounds bundle writing + flake triage when the caller
+// enables ReproDir without choosing a cap.
+const defaultMaxRepros = 3
+
+// TrialFailure describes one captured failing trial (at most
+// Campaign.MaxRepros are captured per campaign).
+type TrialFailure struct {
+	// Seed is the failing round's engine seed.
+	Seed int64
+	// Kind classifies the failure: "bug", "race", "panic", "deadlock",
+	// "timeout" or "harness-panic" (a panic that escaped the engine —
+	// strategy or harness code).
+	Kind string
+	// Msg is a short human-readable description.
+	Msg string
+	// Triage is the flake-triage verdict (replay.TriageDeterministic,
+	// replay.TriageNondeterministic or replay.TriageSkipped).
+	Triage string
+	// BundlePath is the written repro bundle ("" if writing failed; Msg
+	// then carries the error).
+	BundlePath string
+}
+
 // RunTrialsPooled is the streaming trial loop behind RunTrials and the
 // -workers flags: runs rounds are claimed from a shared atomic counter by
 // `workers` goroutines, each owning one pooled engine.Runner and one
@@ -38,18 +101,60 @@ func ResolveWorkers(workers, runs int) int {
 // (aggregate CPU time); Wall is the batch's wall-clock duration.
 func RunTrialsPooled(prog *engine.Program, detect func(*engine.Outcome) bool,
 	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options, workers int) TrialResult {
+	return RunCampaign(prog, detect, newStrategy, runs, seed, opts, Campaign{Workers: workers})
+}
+
+// RunCampaign is RunTrialsPooled with the full resilience layer: panic
+// quarantine, cooperative cancellation, per-trial and campaign-level
+// watchdogs, and the repro sink. See Campaign for the knobs.
+//
+// Panic quarantine: a panic that escapes engine.Runner.Run (a buggy
+// strategy, a harness bug) is recovered at the trial boundary, counted in
+// TrialResult.Panics, and the worker's possibly-corrupted Runner and
+// strategy are replaced with fresh ones — one hostile trial never poisons
+// a sibling worker's trials or the rest of the worker's own rounds.
+func RunCampaign(prog *engine.Program, detect func(*engine.Outcome) bool,
+	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options, camp Campaign) TrialResult {
 	var res TrialResult
-	res.Runs = runs
 	if runs <= 0 {
 		return res
 	}
-	workers = ResolveWorkers(workers, runs)
+	workers := ResolveWorkers(camp.Workers, runs)
+
+	// Derive the campaign context: the caller's context if any, wrapped in
+	// a cancelable child when the stuck-worker watchdog needs a kill
+	// switch. The engine polls it inside the step loop, so cancellation
+	// aborts in-flight runs, not just pending ones.
+	ctx := camp.Context
+	cancel := context.CancelFunc(nil)
+	if camp.StuckTimeout > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		ctx, cancel = context.WithCancel(base)
+		defer cancel()
+	}
+	if ctx != nil {
+		opts.Context = ctx
+	}
+
+	var sink *reproSink
+	if camp.ReproDir != "" {
+		max := camp.MaxRepros
+		if max <= 0 {
+			max = defaultMaxRepros
+		}
+		sink = &reproSink{
+			prog: prog, newStrategy: newStrategy, opts: opts,
+			dir: camp.ReproDir, max: max,
+		}
+	}
 
 	start := time.Now()
 	if workers == 1 {
-		res = runWorker(prog, detect, newStrategy(), runs, seed, opts, nil)
-		res.Runs = runs
-		res.Wall = time.Since(start)
+		res = runWorker(prog, detect, newStrategy, runs, seed, opts, nil, ctx, sink, nil)
+		finishCampaign(&res, sink, start)
 		return res
 	}
 
@@ -57,33 +162,182 @@ func RunTrialsPooled(prog *engine.Program, detect func(*engine.Outcome) bool,
 		next   atomic.Int64
 		wg     sync.WaitGroup
 		locals = make([]TrialResult, workers)
+		states = make([]*workerState, workers)
 	)
 	for w := 0; w < workers; w++ {
+		states[w] = &workerState{}
+		states[w].beat.Store(time.Now().UnixNano())
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			locals[w] = runWorker(prog, detect, newStrategy(), runs, seed, opts, &next)
+			defer states[w].done.Store(true)
+			locals[w] = runWorker(prog, detect, newStrategy, runs, seed, opts, &next, ctx, sink, states[w])
 		}(w)
 	}
-	wg.Wait()
-	for _, l := range locals {
-		res.Hits += l.Hits
-		res.Aborted += l.Aborted
-		res.Deadlock += l.Deadlock
-		res.TotalEvents += l.TotalEvents
-		res.Elapsed += l.Elapsed
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	if camp.StuckTimeout > 0 {
+		res.Stuck, res.StuckDiag = watchCampaign(done, states, camp.StuckTimeout, cancel)
+	} else {
+		<-done
 	}
-	res.Wall = time.Since(start)
+
+	for w, l := range locals {
+		if !states[w].done.Load() {
+			continue // stuck worker: its local result was never published
+		}
+		mergeTrialResults(&res, l)
+	}
+	finishCampaign(&res, sink, start)
 	return res
 }
 
+// finishCampaign folds the repro sink into the merged result and stamps
+// the batch wall time.
+func finishCampaign(res *TrialResult, sink *reproSink, start time.Time) {
+	if sink != nil {
+		sink.mu.Lock()
+		res.Failures = append(res.Failures, sink.captured...)
+		res.Nondeterministic += sink.nondet
+		sink.mu.Unlock()
+	}
+	res.Wall = time.Since(start)
+}
+
+// mergeTrialResults accumulates a worker's local result into the merged
+// campaign result.
+func mergeTrialResults(res *TrialResult, l TrialResult) {
+	res.Runs += l.Runs
+	res.Hits += l.Hits
+	res.Aborted += l.Aborted
+	res.Deadlock += l.Deadlock
+	res.Panics += l.Panics
+	res.Timeouts += l.Timeouts
+	res.Canceled += l.Canceled
+	res.TotalEvents += l.TotalEvents
+	res.Elapsed += l.Elapsed
+	res.Interrupted = res.Interrupted || l.Interrupted
+}
+
+// workerState is the heartbeat a worker publishes for the campaign
+// watchdog: the wall-clock time and seed of its current trial, and
+// whether it has returned.
+type workerState struct {
+	beat atomic.Int64 // UnixNano at the last trial boundary
+	seed atomic.Int64 // seed of the trial in flight
+	done atomic.Bool
+}
+
+// watchCampaign polls worker heartbeats until the pool drains or a worker
+// exceeds stuckAfter without finishing a trial. On a stuck worker it
+// cancels the campaign context (aborting every worker still inside the
+// engine's step loop), waits a grace period, and returns diagnostics
+// naming the wedged workers plus a truncated all-goroutine dump. Workers
+// wedged outside the step loop are leaked by design — the alternative is
+// hanging the campaign forever.
+func watchCampaign(done chan struct{}, states []*workerState, stuckAfter time.Duration, cancel context.CancelFunc) (bool, string) {
+	poll := stuckAfter / 4
+	if poll < 10*time.Millisecond {
+		poll = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return false, ""
+		case <-ticker.C:
+			now := time.Now().UnixNano()
+			var wedged []string
+			for w, ws := range states {
+				if ws.done.Load() {
+					continue
+				}
+				if now-ws.beat.Load() > int64(stuckAfter) {
+					wedged = append(wedged, fmt.Sprintf("worker %d (seed %d, silent %v)",
+						w, ws.seed.Load(), time.Duration(now-ws.beat.Load()).Round(time.Millisecond)))
+				}
+			}
+			if len(wedged) == 0 {
+				continue
+			}
+			// A worker is stuck. Cancel the campaign so every worker still
+			// passing through the engine step loop aborts, then give the
+			// pool a grace period to unwind before declaring the campaign
+			// stuck and returning partial results.
+			cancel()
+			grace := stuckAfter
+			if grace < 200*time.Millisecond {
+				grace = 200 * time.Millisecond
+			}
+			select {
+			case <-done:
+				return false, "" // everyone unwound after the cancel: not stuck after all
+			case <-time.After(grace):
+			}
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, true)]
+			diag := fmt.Sprintf("campaign watchdog: stuck workers after %v: %s\ngoroutine dump (truncated):\n%s",
+				stuckAfter, joinStrings(wedged, "; "), buf)
+			return true, diag
+		}
+	}
+}
+
+func joinStrings(parts []string, sep string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += sep
+		}
+		out += p
+	}
+	return out
+}
+
+// panicInfo captures a panic that escaped the engine during one trial.
+type panicInfo struct {
+	val   string
+	stack string
+}
+
+// safeRun executes one trial with a recover boundary: a panic out of
+// Runner.Run (strategy bug, harness bug — user-program panics are already
+// contained by the engine and surface as PanicError outcomes) is
+// converted into a structured panicInfo instead of killing the worker.
+func safeRun(r *engine.Runner, strat engine.Strategy, seed int64) (o *engine.Outcome, pan *panicInfo) {
+	defer func() {
+		if v := recover(); v != nil {
+			pan = &panicInfo{val: fmt.Sprint(v), stack: string(debug.Stack())}
+		}
+	}()
+	return r.Run(strat, seed), nil
+}
+
+// closeQuarantined releases a Runner whose last trial panicked. The
+// Runner's internal state is suspect, so Close runs on a side goroutine
+// with its own recover: if teardown itself wedges or panics, the campaign
+// loses one goroutine instead of a worker.
+func closeQuarantined(r *engine.Runner) {
+	go func() {
+		defer func() { recover() }()
+		r.Close()
+	}()
+}
+
 // runWorker drains trial indices — sequentially when next is nil, from the
-// shared counter otherwise — on one pooled Runner.
+// shared counter otherwise — on one pooled Runner, applying the per-trial
+// resilience protocol: heartbeat, cancellation check, panic quarantine,
+// outcome classification and failure capture.
 func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
-	strat engine.Strategy, runs int, seed int64, opts engine.Options, next *atomic.Int64) TrialResult {
+	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options,
+	next *atomic.Int64, ctx context.Context, sink *reproSink, ws *workerState) TrialResult {
 	var local TrialResult
+	strat := newStrategy()
 	r := engine.NewRunner(prog, opts)
-	defer r.Close()
+	defer func() { r.Close() }()
 	for i := 0; ; i++ {
 		if next != nil {
 			i = int(next.Add(1)) - 1
@@ -91,20 +345,195 @@ func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
 		if i >= runs {
 			break
 		}
-		o := r.Run(strat, seed+int64(i))
+		if ctx != nil && ctx.Err() != nil {
+			local.Interrupted = true
+			break
+		}
+		s := seed + int64(i)
+		if ws != nil {
+			ws.seed.Store(s)
+			ws.beat.Store(time.Now().UnixNano())
+		}
+		o, pan := safeRun(r, strat, s)
+		local.Runs++
+		if pan != nil {
+			// Quarantine: count the panic, replace the suspect Runner and
+			// strategy, and keep draining rounds.
+			local.Panics++
+			if sink != nil {
+				sink.capture(s, "harness-panic", "panic escaped the engine: "+pan.val,
+					replay.OutcomeSummary{}, pan)
+			}
+			closeQuarantined(r)
+			r = engine.NewRunner(prog, opts)
+			strat = newStrategy()
+			continue
+		}
 		local.TotalEvents += o.Events
 		local.Elapsed += o.Duration
-		if o.Aborted {
+		if o.Canceled {
+			local.Canceled++
+			local.Interrupted = true
+			break
+		}
+		if o.TimedOut {
+			local.Timeouts++
+		} else if o.Aborted {
 			local.Aborted++
 		}
 		if o.Deadlocked {
 			local.Deadlock++
 		}
-		if detect(o) {
+		hit := detect(o)
+		if hit {
 			local.Hits++
 		}
+		if sink != nil {
+			if kind, failing := classifyFailure(o, hit); failing {
+				sink.capture(s, kind, failureMsg(o, kind), replay.Summarize(o), nil)
+			}
+		}
+	}
+	if ws != nil {
+		ws.beat.Store(time.Now().UnixNano())
 	}
 	return local
+}
+
+// classifyFailure decides whether a trial outcome is worth a repro bundle
+// and names its kind. Step-limit aborts (livelock guard trips, common and
+// benign in bounded benchmarks) and cancellations (operator action) are
+// not failures.
+func classifyFailure(o *engine.Outcome, hit bool) (string, bool) {
+	if o.Err != nil {
+		switch o.Err.Kind {
+		case engine.PanicError:
+			return "panic", true
+		case engine.DeadlockError:
+			return "deadlock", true
+		case engine.TimeoutError:
+			return "timeout", true
+		}
+	}
+	if hit {
+		if !o.BugHit && len(o.Races) > 0 {
+			return "race", true
+		}
+		return "bug", true
+	}
+	return "", false
+}
+
+// failureMsg renders a short description of the failing outcome.
+func failureMsg(o *engine.Outcome, kind string) string {
+	if o.Err != nil {
+		return o.Err.Msg
+	}
+	if len(o.BugMessages) > 0 {
+		return o.BugMessages[0]
+	}
+	if kind == "race" && len(o.Races) > 0 {
+		return fmt.Sprintf("%d data race(s) detected", len(o.Races))
+	}
+	return kind
+}
+
+// reproSink captures the first max failing trials of a campaign: each is
+// re-run once on a fresh Runner under a decision recorder (flake triage +
+// schedule capture) and written as a replay.Bundle under dir.
+type reproSink struct {
+	prog        *engine.Program
+	newStrategy func() engine.Strategy
+	opts        engine.Options
+	dir         string
+	max         int
+
+	slots atomic.Int64 // claimed capture slots (may exceed max; >max are dropped)
+
+	mu       sync.Mutex
+	captured []TrialFailure
+	nondet   int
+}
+
+// capture triages and bundles one failing trial if a slot is free. orig
+// summarizes the campaign trial (zero for harness panics, which have no
+// outcome); pan is non-nil when the trial panicked outside the engine.
+func (s *reproSink) capture(seed int64, kind, msg string, orig replay.OutcomeSummary, pan *panicInfo) {
+	if s.slots.Add(1) > int64(s.max) {
+		return
+	}
+	fail := s.triage(seed, kind, msg, orig, pan)
+	s.mu.Lock()
+	s.captured = append(s.captured, fail)
+	if fail.Triage == replay.TriageNondeterministic {
+		s.nondet++
+	}
+	s.mu.Unlock()
+}
+
+// triage re-runs the failing seed on a fresh Runner with a recorder
+// wrapped around a fresh strategy, compares the re-run against the
+// original outcome (determinism verdict), and writes the repro bundle.
+// The re-run strips the campaign Context and wall-clock bound so the
+// recorded trace covers a complete, deterministic execution.
+func (s *reproSink) triage(seed int64, kind, msg string, orig replay.OutcomeSummary, pan *panicInfo) TrialFailure {
+	fail := TrialFailure{Seed: seed, Kind: kind, Msg: msg}
+
+	reOpts := s.opts
+	reOpts.Context = nil
+	reOpts.MaxWallTime = 0
+
+	strat := s.newStrategy()
+	stratName := strat.Name()
+	rec := replay.NewRecorder(strat)
+	fresh := engine.NewRunner(s.prog, reOpts)
+	o2, pan2 := safeRun(fresh, rec, seed)
+	if pan2 == nil {
+		fresh.Close()
+	} else {
+		closeQuarantined(fresh)
+	}
+
+	bundle := replay.NewBundle(s.prog, stratName, seed, reOpts)
+	bundle.Trace = rec.Trace()
+	bundle.FirstOutcome = orig
+	switch {
+	case pan2 != nil:
+		bundle.HarnessPanic = pan2.val
+		bundle.Stack = pan2.stack
+		if pan != nil && pan.val == pan2.val {
+			fail.Triage = replay.TriageDeterministic
+		} else {
+			fail.Triage = replay.TriageNondeterministic
+		}
+	case pan != nil:
+		// The campaign trial panicked but the re-run completed: the panic
+		// is not a function of (program, strategy, seed).
+		bundle.Outcome = replay.Summarize(o2)
+		fail.Triage = replay.TriageNondeterministic
+	case kind == "timeout":
+		// Wall-clock-dependent: the re-run (without the bound) legitimately
+		// diverges from the timed-out original; determinism is not judged.
+		bundle.Outcome = replay.Summarize(o2)
+		fail.Triage = replay.TriageSkipped
+	default:
+		bundle.Outcome = replay.Summarize(o2)
+		if diffs := orig.Diff(bundle.Outcome); len(diffs) == 0 {
+			fail.Triage = replay.TriageDeterministic
+		} else {
+			fail.Triage = replay.TriageNondeterministic
+			fail.Msg += " [rerun diverged: " + joinStrings(diffs, ", ") + "]"
+		}
+	}
+	bundle.Triage = fail.Triage
+
+	path, err := bundle.WriteFile(s.dir)
+	if err != nil {
+		fail.Msg += " [bundle write failed: " + err.Error() + "]"
+	} else {
+		fail.BundlePath = path
+	}
+	return fail
 }
 
 // RunTrialsParallel is RunTrialsPooled under its historical name; workers

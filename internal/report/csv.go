@@ -16,16 +16,19 @@ func Figure5CSV(w io.Writer, cfg Config) error {
 		return err
 	}
 	for _, b := range benchprog.All() {
-		c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0, cfg.Workers)
+		if cfg.interrupted() {
+			return ErrInterrupted
+		}
+		c11, _ := harness.BenchTrialsCampaign(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0, cfg.campaign())
 		writeCSVRow(w, b.Name, "c11tester", c11)
 		var bestPCT, bestWM harness.TrialResult
 		for i := 0; i < 3; i++ {
 			d := maxInt(b.Depth+i, 1)
-			res, _ := harness.BenchTrials(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0, cfg.Workers)
+			res, _ := harness.BenchTrialsCampaign(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0, cfg.campaign())
 			if res.Rate() > bestPCT.Rate() || bestPCT.Runs == 0 {
 				bestPCT = res
 			}
-			wm, _ := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i), cfg.Workers)
+			wm, _ := harness.BestOverHCampaign(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i), cfg.campaign())
 			if wm.Rate() > bestWM.Rate() || bestWM.Runs == 0 {
 				bestWM = wm
 			}
@@ -49,9 +52,12 @@ func Figure6CSV(w io.Writer, cfg Config) error {
 			return err
 		}
 		for _, n := range f.sweep {
-			c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n, cfg.Workers)
-			pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n, cfg.Workers)
-			wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n, cfg.Workers)
+			if cfg.interrupted() {
+				return ErrInterrupted
+			}
+			c11, _ := harness.BenchTrialsCampaign(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n, cfg.campaign())
+			pct, _ := harness.BenchTrialsCampaign(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n, cfg.campaign())
+			wm, _ := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n, cfg.campaign())
 			fmt.Fprintf(w, "%s,%d,c11tester,%.2f\n", b.Name, n, c11.Rate())
 			fmt.Fprintf(w, "%s,%d,pct,%.2f\n", b.Name, n, pct.Rate())
 			fmt.Fprintf(w, "%s,%d,pctwm,%.2f\n", b.Name, n, wm.Rate())

@@ -4,6 +4,8 @@
 package report
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -17,6 +19,12 @@ import (
 	"pctwm/internal/harness"
 	"pctwm/internal/litmus"
 )
+
+// ErrInterrupted is returned by a section whose Config.Context was
+// canceled mid-generation: whatever rows finished before the cancel have
+// been flushed, so the caller holds a partial artifact and should exit
+// nonzero instead of treating the output as complete.
+var ErrInterrupted = errors.New("report: interrupted")
 
 // Config controls the experiment sizes. The defaults match the paper
 // (1000 rounds for the tables, 500 for Figure 6, 10 runs for Table 4);
@@ -37,6 +45,29 @@ type Config struct {
 	// (0 = GOMAXPROCS, 1 = serial). Results are identical for every
 	// worker count; only wall-clock time changes.
 	Workers int
+	// Context cancels report generation cooperatively: trial batches
+	// abort through the engine's step-loop watchdog and sections return
+	// ErrInterrupted after flushing the rows completed so far.
+	Context context.Context
+	// ReproDir arms the campaign repro sink for every trial batch:
+	// failing trials are flake-triaged and written as replayable JSON
+	// bundles under this directory (see harness.Campaign).
+	ReproDir string
+	// MaxRepros caps bundles per trial batch (0 = the harness default).
+	MaxRepros int
+}
+
+// campaign maps the config onto the resilience knobs of one trial batch.
+func (c Config) campaign() harness.Campaign {
+	return harness.Campaign{
+		Workers: c.Workers, Context: c.Context,
+		ReproDir: c.ReproDir, MaxRepros: c.MaxRepros,
+	}
+}
+
+// interrupted reports whether the config's context has been canceled.
+func (c Config) interrupted() bool {
+	return c.Context != nil && c.Context.Err() != nil
 }
 
 // Default returns the paper-sized configuration.
@@ -78,6 +109,10 @@ func Table1(w io.Writer, cfg Config) error {
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Benchmark\tLOC\tk\tkcom\td")
 	for _, b := range benchprog.All() {
+		if cfg.interrupted() {
+			tw.Flush()
+			return ErrInterrupted
+		}
 		est := harness.EstimateParams(b.Program(0), 50, cfg.Seed, b.Options())
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", b.Name, benchprog.LOC(b.Name), est.K, est.KCom, b.Depth)
 	}
@@ -92,9 +127,13 @@ func Table2(w io.Writer, cfg Config) error {
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Benchmark\td\tRate(d)\tRate(d+1)\tRate(d+2)")
 	for _, b := range benchprog.All() {
+		if cfg.interrupted() {
+			tw.Flush()
+			return ErrInterrupted
+		}
 		cells := make([]string, 3)
 		for i := 0; i < 3; i++ {
-			res, h := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(17*i), cfg.Workers)
+			res, h := harness.BestOverHCampaign(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(17*i), cfg.campaign())
 			cells[i] = fmt.Sprintf("%.1f (h:%d)", res.Rate(), h)
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n", b.Name, b.Depth, cells[0], cells[1], cells[2])
@@ -114,10 +153,14 @@ func Table3(w io.Writer, cfg Config) error {
 	}
 	fmt.Fprintln(tw, header)
 	for _, b := range benchprog.All() {
+		if cfg.interrupted() {
+			tw.Flush()
+			return ErrInterrupted
+		}
 		var est harness.Estimate
 		row := make([]string, 0, cfg.MaxH)
 		for h := 1; h <= cfg.MaxH; h++ {
-			res, e := harness.BenchTrials(b, harness.PCTWMFactory(b.Table3Depth, h), cfg.Runs, cfg.Seed+int64(31*h), 0, cfg.Workers)
+			res, e := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Table3Depth, h), cfg.Runs, cfg.Seed+int64(31*h), 0, cfg.campaign())
 			est = e
 			row = append(row, fmt.Sprintf("%.1f", res.Rate()))
 		}
@@ -136,6 +179,10 @@ func Table4(w io.Writer, cfg Config) error {
 	tw := newTab(w)
 	fmt.Fprintln(tw, "App\tMetric\tCores\tC11Tester\tPCTWM\tOverhead\tns/event (c11/pctwm)\tRaces (c11/pctwm)")
 	for _, a := range apps.All() {
+		if cfg.interrupted() {
+			tw.Flush()
+			return ErrInterrupted
+		}
 		for _, cores := range []int{1, 4} {
 			coreLabel := "single"
 			if cores > 1 {
@@ -173,7 +220,11 @@ func Figure5(w io.Writer, cfg Config) error {
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Benchmark\tC11Tester\tPCT\tPCTWM\tPCTWM 95% CI")
 	for _, b := range benchprog.All() {
-		c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0, cfg.Workers)
+		if cfg.interrupted() {
+			tw.Flush()
+			return ErrInterrupted
+		}
+		c11, _ := harness.BenchTrialsCampaign(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0, cfg.campaign())
 		bestPCT := 0.0
 		var bestWM harness.TrialResult
 		for i := 0; i < 3; i++ {
@@ -181,11 +232,11 @@ func Figure5(w io.Writer, cfg Config) error {
 			if d < 1 {
 				d = 1
 			}
-			res, _ := harness.BenchTrials(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0, cfg.Workers)
+			res, _ := harness.BenchTrialsCampaign(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0, cfg.campaign())
 			if res.Rate() > bestPCT {
 				bestPCT = res.Rate()
 			}
-			wm, _ := harness.BestOverH(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i), cfg.Workers)
+			wm, _ := harness.BestOverHCampaign(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i), cfg.campaign())
 			if wm.Rate() > bestWM.Rate() || bestWM.Runs == 0 {
 				bestWM = wm
 			}
@@ -223,9 +274,13 @@ func Figure6(w io.Writer, cfg Config) error {
 		tw := newTab(w)
 		fmt.Fprintln(tw, "Writes\tC11Tester\tPCT\tPCTWM")
 		for _, n := range f.sweep {
-			c11, _ := harness.BenchTrials(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n, cfg.Workers)
-			pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n, cfg.Workers)
-			wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n, cfg.Workers)
+			if cfg.interrupted() {
+				tw.Flush()
+				return ErrInterrupted
+			}
+			c11, _ := harness.BenchTrialsCampaign(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n, cfg.campaign())
+			pct, _ := harness.BenchTrialsCampaign(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n, cfg.campaign())
+			wm, _ := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n, cfg.campaign())
 			fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\n", n, c11.Rate(), pct.Rate(), wm.Rate())
 		}
 		if err := tw.Flush(); err != nil {
@@ -247,6 +302,10 @@ func Coverage(w io.Writer, cfg Config) error {
 	fmt.Fprintln(tw, "Program\treachable\tC11Tester\tPOS\tPCT\tPCTWM(d=2,h=2)")
 	targets := []string{"SB+rlx", "MP+rlx", "LB+rlx", "CoRR2", "IRIW+rlx"}
 	for _, name := range targets {
+		if cfg.interrupted() {
+			tw.Flush()
+			return ErrInterrupted
+		}
 		var lt *litmus.Test
 		for _, cand := range litmus.Suite() {
 			if cand.Name == name {
@@ -291,10 +350,14 @@ func Baselines(w io.Writer, cfg Config) error {
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Benchmark\td\tC11Tester\tPOS\tPCT\tPCTWM\tPCTWM bound")
 	for _, b := range benchprog.All() {
-		c11, est := harness.BenchTrials(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0, cfg.Workers)
-		pos, _ := harness.BenchTrials(b, harness.POSFactory(), cfg.Runs, cfg.Seed+1, 0, cfg.Workers)
-		pct, _ := harness.BenchTrials(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Runs, cfg.Seed+2, 0, cfg.Workers)
-		wm, _ := harness.BenchTrials(b, harness.PCTWMFactory(b.Depth, 1), cfg.Runs, cfg.Seed+3, 0, cfg.Workers)
+		if cfg.interrupted() {
+			tw.Flush()
+			return ErrInterrupted
+		}
+		c11, est := harness.BenchTrialsCampaign(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0, cfg.campaign())
+		pos, _ := harness.BenchTrialsCampaign(b, harness.POSFactory(), cfg.Runs, cfg.Seed+1, 0, cfg.campaign())
+		pct, _ := harness.BenchTrialsCampaign(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Runs, cfg.Seed+2, 0, cfg.campaign())
+		wm, _ := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Depth, 1), cfg.Runs, cfg.Seed+3, 0, cfg.campaign())
 		bound := 100 * core.PCTWMBound(est.KCom, b.Depth, 1)
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
 			b.Name, b.Depth, c11.Rate(), pos.Rate(), pct.Rate(), wm.Rate(), bound)
@@ -313,13 +376,17 @@ func Ablations(w io.Writer, cfg Config) error {
 	fmt.Fprintln(tw, "Benchmark\td\tfull\tno-history\tno-delay\tno-local-views")
 	modes := []core.Ablation{core.AblateNone, core.AblateHistory, core.AblateDelay, core.AblateLocalViews}
 	for _, b := range benchprog.All() {
+		if cfg.interrupted() {
+			tw.Flush()
+			return ErrInterrupted
+		}
 		row := make([]string, 0, len(modes))
 		for i, m := range modes {
 			m := m
 			factory := func(est harness.Estimate) engine.Strategy {
 				return core.NewAblatedPCTWM(b.Depth, 1, est.KCom, m)
 			}
-			res, _ := harness.BenchTrials(b, factory, cfg.Runs, cfg.Seed+int64(41*i), 0, cfg.Workers)
+			res, _ := harness.BenchTrialsCampaign(b, factory, cfg.Runs, cfg.Seed+int64(41*i), 0, cfg.campaign())
 			row = append(row, fmt.Sprintf("%.1f", res.Rate()))
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%s\n", b.Name, b.Depth, strings.Join(row, "\t"))
