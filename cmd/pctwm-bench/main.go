@@ -6,10 +6,18 @@
 //
 //	pctwm-bench [-runs N] [-s SEED] [-workers N] [-d D] [-y H] [-bench a,b]
 //	            [-repro-dir DIR [-max-repros N]]
+//	            [-metrics-addr ADDR] [-pprof-addr ADDR] [-progress] [-telemetry]
 //	            [-json] [-compare FILE [-max-regress PCT]] [-engine.baton]
 //
 // -workers spreads each cell's rounds over N worker goroutines (0 =
 // GOMAXPROCS, 1 = serial; results are identical for every worker count).
+// -telemetry collects per-cell engine counters (op mix, handoff ratio,
+// rf candidate-bag sizes, change-point depths) and prints a summary per
+// cell to stderr; in -json mode it embeds the counter digest in each
+// snapshot. -metrics-addr serves live campaign metrics (Prometheus on
+// /metrics, JSON on /metrics.json, expvar on /debug/vars); -pprof-addr
+// serves net/http/pprof (workers run under pprof labels); -progress
+// prints a periodic one-line status to stderr.
 // -repro-dir arms the campaign repro sink: the first -max-repros failing
 // trials per cell are flake-triaged and written as replayable JSON
 // bundles under DIR (see pctwm-replay). -json switches to the
@@ -44,6 +52,7 @@ import (
 	"pctwm/internal/core"
 	"pctwm/internal/engine"
 	"pctwm/internal/harness"
+	"pctwm/internal/telemetry"
 )
 
 func main() {
@@ -58,8 +67,12 @@ func main() {
 		compare    = flag.String("compare", "", "baseline snapshot JSON to diff the fresh measurement against (benchstat-style)")
 		maxRegress = flag.Float64("max-regress", 15, "with -compare: fail when ns_per_event regresses by more than this percent")
 		baton      = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
-		reproDir   = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
-		maxRepros  = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per benchmark × strategy cell")
+		reproDir    = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
+		maxRepros   = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per benchmark × strategy cell")
+		metricsAddr = flag.String("metrics-addr", "", "serve campaign metrics on this address (/metrics Prometheus, /metrics.json, /debug/vars)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address")
+		progress    = flag.Bool("progress", false, "print a periodic one-line campaign status to stderr")
+		telFlag     = flag.Bool("telemetry", false, "collect engine counters per cell (stderr summary; embedded in -json snapshots)")
 	)
 	flag.Parse()
 
@@ -68,6 +81,36 @@ func main() {
 	// kills the process the default way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// One metrics hub for the process; the HTTP endpoint and the progress
+	// reporter read it while the campaigns feed it.
+	var metrics *telemetry.Metrics
+	if *metricsAddr != "" || *progress {
+		metrics = &telemetry.Metrics{}
+	}
+	if *metricsAddr != "" {
+		bound, stopSrv, err := metrics.ListenAndServe(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pctwm-bench: metrics endpoint: %v\n", err)
+			os.Exit(2)
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "pctwm-bench: serving metrics on http://%s/metrics\n", bound)
+	}
+	if *pprofAddr != "" {
+		bound, stopSrv, err := telemetry.ListenAndServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pctwm-bench: pprof endpoint: %v\n", err)
+			os.Exit(2)
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "pctwm-bench: serving pprof on http://%s/debug/pprof/\n", bound)
+	}
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = telemetry.StartProgress(os.Stderr, metrics, 2*time.Second)
+	}
+	defer stopProgress()
 
 	dFor := func(b *benchprog.Benchmark) int {
 		if *depth >= 0 {
@@ -95,10 +138,14 @@ func main() {
 	}
 
 	if *compare != "" {
-		os.Exit(runCompare(ctx, benches, dFor, optsFor, *runs, *seed, *history, *compare, *maxRegress))
+		code := runCompare(ctx, benches, dFor, optsFor, *runs, *seed, *history, *compare, *maxRegress, *telFlag)
+		stopProgress()
+		os.Exit(code)
 	}
 	if *jsonOut {
-		os.Exit(emitSnapshot(ctx, os.Stdout, benches, dFor, optsFor, *runs, *seed, *history))
+		code := emitSnapshot(ctx, os.Stdout, benches, dFor, optsFor, *runs, *seed, *history, *telFlag)
+		stopProgress()
+		os.Exit(code)
 	}
 
 	type column struct {
@@ -138,15 +185,22 @@ func main() {
 		opts := optsFor(b)
 		est := harness.EstimateParams(prog, 20, *seed^0x5eed, opts)
 		row := fmt.Sprintf("%s\t%d", b.Name, dFor(b))
+		if metrics != nil {
+			metrics.SetPhase(b.Name)
+		}
 		for i, c := range cols {
 			factory := c.factory(b)
 			newStrategy := func() engine.Strategy { return factory(est) }
 			camp := harness.Campaign{
 				Workers: *workers, Context: ctx,
 				ReproDir: *reproDir, MaxRepros: *maxRepros,
+				Metrics: metrics, Telemetry: *telFlag,
 			}
 			res := harness.RunCampaign(prog, b.Detect, newStrategy, *runs, *seed+int64(10*i), opts, camp)
 			bundles += reportFailures(b.Name, c.name, res)
+			if *telFlag && res.Telemetry != nil {
+				reportTelemetry(b.Name, c.name, res.Telemetry)
+			}
 			interrupted = interrupted || res.Interrupted
 			lo, hi := res.CI95()
 			row += fmt.Sprintf("\t%.1f [%.0f,%.0f]", res.Rate(), lo, hi)
@@ -157,6 +211,7 @@ func main() {
 		}
 	}
 	tw.Flush()
+	stopProgress()
 	if bundles > 0 {
 		fmt.Fprintf(os.Stderr, "pctwm-bench: %d repro bundle(s) written under %s (replay with pctwm-replay)\n", bundles, *reproDir)
 	}
@@ -189,6 +244,22 @@ func reportFailures(bench, strategy string, res harness.TrialResult) int {
 	return n
 }
 
+// reportTelemetry prints one cell's merged engine-counter digest to
+// stderr (identical totals for every -workers setting).
+func reportTelemetry(bench, strategy string, c *telemetry.EngineCounters) {
+	s := c.Summary()
+	grants := s.Handoffs + s.SameThreadGrants
+	handoffPct := 0.0
+	if grants > 0 {
+		handoffPct = 100 * float64(s.Handoffs) / float64(grants)
+	}
+	fmt.Fprintf(os.Stderr,
+		"pctwm-bench: telemetry %s/%s: trials %d, events %d, handoffs %.1f%%, rf-cand mean %.1f max %d, cp-depth mean %.1f max %d, race checks %d\n",
+		bench, strategy, s.Trials, s.Events, handoffPct,
+		s.RFCandidates.Mean, s.RFCandidates.Max,
+		s.ChangePointDepth.Mean, s.ChangePointDepth.Max, s.RaceChecks)
+}
+
 // snapshotSweeps is how many times the snapshot measurement sweeps the
 // whole benchmark × strategy matrix. Each cell keeps its fastest sweep:
 // the sweeps sample every cell at well-separated points in time, so an
@@ -202,7 +273,7 @@ const snapshotSweeps = 3
 // The context is checked between cells: on cancellation the cells fully
 // measured so far are returned with partial=true.
 func measureSnapshot(ctx context.Context, benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
-	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int) (snaps []harness.EngineSnapshot, partial bool) {
+	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int, collect bool) (snaps []harness.EngineSnapshot, partial bool) {
 	type cell struct {
 		prog *engine.Program
 		opts engine.Options
@@ -229,7 +300,13 @@ func measureSnapshot(ctx context.Context, benches []*benchprog.Benchmark, dFor f
 				// Keep only cells that completed at least one sweep.
 				return snaps[:measured], true
 			}
-			snap := harness.MeasureEngine(c.name, c.prog, c.mk(), runs, seed, c.opts)
+			opts := c.opts
+			if collect {
+				// Fresh counters per sweep so the kept (fastest) snapshot
+				// carries the digest of exactly that sweep's loop.
+				opts.Telemetry = &telemetry.EngineCounters{}
+			}
+			snap := harness.MeasureEngine(c.name, c.prog, c.mk(), runs, seed, opts)
 			if sweep == 0 || snap.NsPerRun < snaps[i].NsPerRun {
 				snaps[i] = snap
 			}
@@ -255,8 +332,8 @@ type partialSnapshot struct {
 // partial-marked wrapper when interrupted — and returns the exit status
 // (nonzero on interruption).
 func emitSnapshot(ctx context.Context, w *os.File, benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
-	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int) int {
-	snaps, partial := measureSnapshot(ctx, benches, dFor, optsFor, runs, seed, history)
+	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int, collect bool) int {
+	snaps, partial := measureSnapshot(ctx, benches, dFor, optsFor, runs, seed, history, collect)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	var payload any = snaps
@@ -296,7 +373,7 @@ func decodeSnapshots(data []byte) ([]harness.EngineSnapshot, error) {
 // regressed by more than maxRegress percent.
 func runCompare(ctx context.Context, benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
 	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int,
-	baselinePath string, maxRegress float64) int {
+	baselinePath string, maxRegress float64, collect bool) int {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pctwm-bench: %v\n", err)
@@ -322,7 +399,7 @@ func runCompare(ctx context.Context, benches []*benchprog.Benchmark, dFor func(*
 		}
 	}
 
-	fresh, partial := measureSnapshot(ctx, benches, dFor, optsFor, runs, seed, history)
+	fresh, partial := measureSnapshot(ctx, benches, dFor, optsFor, runs, seed, history, collect)
 	if partial {
 		fmt.Fprintf(os.Stderr, "pctwm-bench: interrupted mid-measurement; comparison not judged\n")
 		return 2

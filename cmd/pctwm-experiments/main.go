@@ -5,15 +5,21 @@
 //
 //	pctwm-experiments [-quick] [-runs N] [-fig6runs N] [-perfruns N] [-seed S] [-workers N]
 //	                  [-repro-dir DIR [-max-repros N]]
-//	                  [-section all|table1|table2|table3|table4|figure5|figure6]
+//	                  [-metrics-addr ADDR] [-pprof-addr ADDR] [-progress]
+//	                  [-section all|table1|table2|table3|table4|figure5|figure6|telemetry|...]
 //
 // The default configuration uses the paper's experiment sizes (1000
 // rounds per table configuration, 500 per Figure 6 point, 10 timed runs
 // per Table 4 cell); -quick shrinks everything for a fast smoke run.
 // -repro-dir arms the campaign repro sink for every trial batch: failing
 // trials are flake-triaged and written as replayable bundles (see
-// pctwm-replay). SIGINT/SIGTERM stop the run gracefully: the rows
-// finished so far are flushed, a partial notice is printed, and the
+// pctwm-replay). -metrics-addr serves live campaign metrics (Prometheus
+// text on /metrics, JSON on /metrics.json, expvar on /debug/vars);
+// -pprof-addr serves net/http/pprof (campaign workers run under pprof
+// labels, so profiles slice by worker/strategy/program); -progress
+// prints a periodic one-line status to stderr. SIGINT/SIGTERM stop the
+// run gracefully: the rows finished so far are flushed, the progress
+// reporter emits its final line, a partial notice is printed, and the
 // process exits nonzero.
 package main
 
@@ -26,8 +32,10 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"pctwm/internal/report"
+	"pctwm/internal/telemetry"
 )
 
 func main() {
@@ -38,9 +46,12 @@ func main() {
 		perfruns  = flag.Int("perfruns", 0, "timed runs per table 4 cell (0 = default)")
 		seed      = flag.Int64("seed", 0, "base random seed (0 = default)")
 		workers   = flag.Int("workers", 1, "worker goroutines per trial batch (0 = GOMAXPROCS, 1 = serial); results are identical for every worker count")
-		section   = flag.String("section", "all", "which artifact to regenerate: all, table1..table4, figure5, figure6, ablation, baselines, coverage, figure5csv, figure6csv")
-		reproDir  = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
-		maxRepros = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per trial batch")
+		section   = flag.String("section", "all", "which artifact to regenerate: all, table1..table4, figure5, figure6, ablation, baselines, coverage, figure5csv, figure6csv, telemetry, telemetrycsv")
+		reproDir    = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
+		maxRepros   = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per trial batch")
+		metricsAddr = flag.String("metrics-addr", "", "serve campaign metrics on this address (/metrics Prometheus, /metrics.json, /debug/vars)")
+		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address")
+		progress    = flag.Bool("progress", false, "print a periodic one-line campaign status to stderr")
 	)
 	flag.Parse()
 
@@ -71,6 +82,37 @@ func main() {
 	cfg.ReproDir = *reproDir
 	cfg.MaxRepros = *maxRepros
 
+	// One metrics hub for the whole process: every report section's trial
+	// batches feed it, and the HTTP endpoint / progress reporter read it.
+	var metrics *telemetry.Metrics
+	if *metricsAddr != "" || *progress {
+		metrics = &telemetry.Metrics{}
+		cfg.Metrics = metrics
+	}
+	if *metricsAddr != "" {
+		bound, stopSrv, err := metrics.ListenAndServe(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pctwm-experiments: metrics endpoint: %v\n", err)
+			os.Exit(2)
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "pctwm-experiments: serving metrics on http://%s/metrics\n", bound)
+	}
+	if *pprofAddr != "" {
+		bound, stopSrv, err := telemetry.ListenAndServePprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pctwm-experiments: pprof endpoint: %v\n", err)
+			os.Exit(2)
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "pctwm-experiments: serving pprof on http://%s/debug/pprof/\n", bound)
+	}
+	stopProgress := func() {}
+	if *progress {
+		stopProgress = telemetry.StartProgress(os.Stderr, metrics, 2*time.Second)
+	}
+	defer stopProgress()
+
 	sections := map[string]func(io.Writer, report.Config) error{
 		"all":        report.All,
 		"table1":     report.Table1,
@@ -82,15 +124,21 @@ func main() {
 		"ablation":   report.Ablations,
 		"baselines":  report.Baselines,
 		"coverage":   report.Coverage,
-		"figure5csv": report.Figure5CSV,
-		"figure6csv": report.Figure6CSV,
+		"figure5csv":   report.Figure5CSV,
+		"figure6csv":   report.Figure6CSV,
+		"telemetry":    report.Telemetry,
+		"telemetrycsv": report.TelemetryCSV,
 	}
 	f, ok := sections[*section]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "pctwm-experiments: unknown section %q\n", *section)
 		os.Exit(2)
 	}
-	if err := f(os.Stdout, cfg); err != nil {
+	err := f(os.Stdout, cfg)
+	// Flush the final progress line before any exit path (os.Exit skips
+	// deferred calls); stop is idempotent, so the deferred call is a no-op.
+	stopProgress()
+	if err != nil {
 		if errors.Is(err, report.ErrInterrupted) {
 			fmt.Fprintf(os.Stderr, "pctwm-experiments: interrupted: output above is partial\n")
 			os.Exit(1)

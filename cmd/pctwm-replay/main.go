@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pctwm-replay [-extra-writes N] [-v] bundle.json [bundle2.json ...]
+//	pctwm-replay [-extra-writes N] [-v] [-perfetto-dir DIR] bundle.json [bundle2.json ...]
 //
 // Each bundle names its program; the program is resolved against the
 // built-in registries (benchmarks, litmus tests, applications) and
@@ -13,6 +13,13 @@
 // instead of silently derailing. -extra-writes rebuilds benchmark
 // programs with the Figure-6 inserted relaxed writes, matching campaigns
 // that ran with them.
+//
+// -perfetto-dir writes Chrome trace-event JSON renderings of each bundle
+// under DIR: <bundle>.recorded.perfetto.json for the trace embedded at
+// capture time (campaigns run with EmbedPerfetto) and
+// <bundle>.replay.perfetto.json for the schedule this replay actually
+// executed — a diverging replay can then be diffed visually against the
+// recorded schedule in ui.perfetto.dev.
 //
 // Exit status: 0 when every bundle reproduced its recorded outcome, 1
 // when any replay diverged (outcome diff or schedule derail), 2 on usage,
@@ -23,21 +30,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"pctwm/internal/apps"
 	"pctwm/internal/benchprog"
 	"pctwm/internal/engine"
 	"pctwm/internal/litmus"
 	"pctwm/internal/replay"
+	"pctwm/internal/telemetry/perfetto"
 )
 
 func main() {
 	var (
 		extraWrites = flag.Int("extra-writes", 0, "rebuild benchmark programs with this many inserted relaxed writes (Figure 6 campaigns)")
 		verbose     = flag.Bool("v", false, "print the replayed outcome summary for every bundle")
+		perfDir     = flag.String("perfetto-dir", "", "write recorded and replayed schedules as Chrome trace-event JSON under this directory")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pctwm-replay [-extra-writes N] [-v] bundle.json [bundle2.json ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: pctwm-replay [-extra-writes N] [-v] [-perfetto-dir DIR] bundle.json [bundle2.json ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -48,7 +59,7 @@ func main() {
 
 	exit := 0
 	for _, path := range flag.Args() {
-		switch replayBundle(path, *extraWrites, *verbose) {
+		switch replayBundle(path, *extraWrites, *verbose, *perfDir) {
 		case 1:
 			if exit == 0 {
 				exit = 1
@@ -63,7 +74,7 @@ func main() {
 // replayBundle loads, resolves and verifies one bundle, printing a
 // one-line verdict (plus details on divergence). Returns an exit status
 // contribution: 0 reproduced, 1 diverged, 2 load/resolve error.
-func replayBundle(path string, extraWrites int, verbose bool) int {
+func replayBundle(path string, extraWrites int, verbose bool, perfDir string) int {
 	b, err := replay.LoadBundle(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pctwm-replay: %s: %v\n", path, err)
@@ -73,6 +84,9 @@ func replayBundle(path string, extraWrites int, verbose bool) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pctwm-replay: %s: %v\n", path, err)
 		return 2
+	}
+	if perfDir != "" {
+		writePerfetto(path, b, prog, perfDir)
 	}
 
 	if b.HarnessPanic != "" {
@@ -110,6 +124,54 @@ func replayBundle(path string, extraWrites int, verbose bool) int {
 		printSummary(res.Summary)
 	}
 	return 1
+}
+
+// writePerfetto renders the bundle as Chrome trace-event JSON under dir:
+// the trace embedded at capture time (if the campaign ran with
+// EmbedPerfetto) and the schedule a fresh replay of the recorded
+// decisions executes here. Failures are reported but never affect the
+// replay verdict — trace export is best-effort diagnostics.
+func writePerfetto(path string, b *replay.Bundle, prog *engine.Program, dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "pctwm-replay: %s: perfetto dir: %v\n", path, err)
+		return
+	}
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	if len(b.Perfetto) > 0 {
+		out := filepath.Join(dir, base+".recorded.perfetto.json")
+		if err := os.WriteFile(out, append([]byte(b.Perfetto), '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pctwm-replay: %s: %v\n", path, err)
+		} else {
+			fmt.Printf("%s: wrote recorded schedule to %s\n", path, out)
+		}
+	}
+
+	// Re-run the recorded decisions with recording on to render the
+	// schedule this build actually executes (it may diverge from the
+	// recorded one; that is exactly what the pair of files shows).
+	trace := b.Trace
+	if trace == nil {
+		trace = &replay.Trace{}
+	}
+	opts := b.Options
+	opts.Context = nil
+	opts.Telemetry = nil
+	opts.Record = true
+	o := engine.Run(prog, replay.NewPlayer(trace), b.Seed, opts)
+	if o.Recording == nil {
+		return
+	}
+	data, err := perfetto.Marshal(o.Recording, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pctwm-replay: %s: %v\n", path, err)
+		return
+	}
+	out := filepath.Join(dir, base+".replay.perfetto.json")
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "pctwm-replay: %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("%s: wrote replayed schedule to %s\n", path, out)
 }
 
 func printSummary(s replay.OutcomeSummary) {

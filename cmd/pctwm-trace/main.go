@@ -6,12 +6,19 @@
 // Usage:
 //
 //	pctwm-trace -b dekker [-strategy pctwm] [-d D] [-y H] [-s SEED] [-rounds N] [-dot]
+//	            [-perfetto out.json]
+//
+// -perfetto additionally writes the failing schedule as a Chrome
+// trace-event JSON document (one track per thread, a slice per event,
+// flow arrows for reads-from edges, instant markers on PCTWM priority
+// change points) that ui.perfetto.dev or chrome://tracing load directly.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"pctwm/internal/apps"
 	"pctwm/internal/axiom"
@@ -20,6 +27,8 @@ import (
 	"pctwm/internal/harness"
 	"pctwm/internal/memmodel"
 	"pctwm/internal/replay"
+	"pctwm/internal/telemetry"
+	"pctwm/internal/telemetry/perfetto"
 )
 
 func main() {
@@ -32,6 +41,7 @@ func main() {
 		rounds   = flag.Int("rounds", 2000, "maximum rounds to search for a failing execution")
 		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of text")
 		baton    = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
+		perfOut  = flag.String("perfetto", "", "also write the failing schedule as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 
@@ -59,9 +69,24 @@ func main() {
 	}
 	est := harness.EstimateParams(prog, 20, *seed^0x5eed, opts)
 
-	trace, _, ok := replay.FindAndRecord(prog,
-		func() engine.Strategy { return factory(est) }, detect, *rounds, *seed, opts)
-	if !ok {
+	// Search for a failing round, recording the decision sequence and —
+	// with fresh engine counters per round — the PCTWM priority change
+	// points of exactly the round that hit (accumulating one shared
+	// counter across rounds would mix the change-point logs).
+	var trace *replay.Trace
+	var tel *telemetry.EngineCounters
+	found := false
+	for i := 0; i < *rounds && !found; i++ {
+		roundTel := &telemetry.EngineCounters{}
+		roundOpts := opts
+		roundOpts.Telemetry = roundTel
+		rec := replay.NewRecorder(factory(est))
+		ro := engine.Run(prog, rec, *seed+int64(i), roundOpts)
+		if detect(ro) {
+			trace, tel, found = rec.Trace(), roundTel, true
+		}
+	}
+	if !found {
 		fmt.Fprintf(os.Stderr, "pctwm-trace: no failing execution of %s in %d rounds\n", *bench, *rounds)
 		os.Exit(1)
 	}
@@ -85,6 +110,19 @@ func main() {
 		return fmt.Sprintf("x%d", l)
 	}
 
+	if *perfOut != "" {
+		data, err := perfetto.Marshal(o.Recording, tel.ChangePoints)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pctwm-trace:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*perfOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "pctwm-trace:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "pctwm-trace: wrote Perfetto trace to %s (open in ui.perfetto.dev)\n", *perfOut)
+	}
+
 	if *dot {
 		if err := g.WriteDot(os.Stdout, locName); err != nil {
 			fmt.Fprintln(os.Stderr, "pctwm-trace:", err)
@@ -105,8 +143,12 @@ func main() {
 	for _, r := range o.Races {
 		fmt.Println("race:", r)
 	}
-	if vs := g.Check(); len(vs) == 0 {
-		fmt.Println("consistency: the execution satisfies the C11 axioms")
+	checkStart := time.Now()
+	vs := g.Check()
+	tel.AddAxiomRecheck(time.Since(checkStart).Nanoseconds())
+	if len(vs) == 0 {
+		fmt.Printf("consistency: the execution satisfies the C11 axioms (rechecked in %v)\n",
+			time.Duration(tel.AxiomRecheckNs).Round(time.Microsecond))
 	} else {
 		for _, v := range vs {
 			fmt.Println("consistency VIOLATION:", v)

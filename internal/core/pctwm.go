@@ -5,6 +5,7 @@ import (
 
 	"pctwm/internal/engine"
 	"pctwm/internal/memmodel"
+	"pctwm/internal/telemetry"
 )
 
 // eventKey identifies a (possibly not yet executed) event: the thread and
@@ -56,6 +57,9 @@ type PCTWM struct {
 	CommEvents int
 
 	rng *rand.Rand
+	// tel is the engine's telemetry shard for the current execution (nil
+	// when telemetry is off); change points are logged into it.
+	tel *telemetry.EngineCounters
 
 	threads []pctwmThread // index = tid-1
 	// sampled holds the d sampled communication-event indices; sampled[k]
@@ -98,6 +102,7 @@ func (s *PCTWM) Name() string { return "pctwm" }
 // [1, kcom] (Algorithm 1, Data).
 func (s *PCTWM) Begin(info engine.ProgramInfo, r *rand.Rand) {
 	s.rng = r
+	s.tel = info.Telemetry
 	s.threads = s.threads[:0]
 	s.commSeen = 0
 	s.minPrio = 0
@@ -169,6 +174,11 @@ func (s *PCTWM) NextThread(enabled []engine.PendingOp) memmodel.ThreadID {
 		// event as a communication sink (lines 9-13).
 		st.prio = s.Depth - k + 1
 		st.reorderIdx = op.Index
+		if s.tel != nil {
+			s.tel.LogChangePoint(telemetry.ChangePoint{
+				TID: op.TID, Index: op.Index, Comm: s.commSeen, Slot: s.Depth - k + 1,
+			})
+		}
 		// If this thread was the only enabled one, it must run anyway;
 		// the counted guard above returns it on the next iteration.
 	}

@@ -14,6 +14,7 @@ import (
 
 	"pctwm/internal/memmodel"
 	"pctwm/internal/race"
+	"pctwm/internal/telemetry"
 	"pctwm/internal/vclock"
 )
 
@@ -100,6 +101,15 @@ type Engine struct {
 
 	stepsSinceProgress int
 	stopped            bool
+
+	// tel caches Options.Telemetry (nil = telemetry off: one predictable
+	// branch per hook, no allocation). lastGranted is the thread the
+	// previous grant ran, classifying each grant as a handoff (thread
+	// switch) or a same-thread grant; it is derived purely from the
+	// schedule, so the counts are bit-identical across scheduler
+	// protocols and worker counts.
+	tel         *telemetry.EngineCounters
+	lastGranted *Thread
 
 	// Watchdog state (cancellation + wall-clock bound), refreshed per run
 	// by reset. watchdogOn gates the hot path: when neither a Context nor
@@ -247,6 +257,8 @@ func (e *Engine) reset(strat Strategy, seed int64) {
 	}
 	e.stepsSinceProgress = 0
 	e.stopped = false
+	e.tel = e.opts.Telemetry
+	e.lastGranted = nil
 	e.ctxDone = nil
 	if e.opts.Context != nil {
 		e.ctxDone = e.opts.Context.Done()
@@ -309,6 +321,9 @@ func (e *Engine) finalize() {
 		}
 	}
 	e.outcome.FinalValues = e.finalValues()
+	if e.tel != nil {
+		e.tel.Trials++
+	}
 	e.releaseRun()
 }
 
@@ -387,6 +402,7 @@ func (e *Engine) startRoots() {
 	e.strat.Begin(ProgramInfo{
 		Name:           e.prog.Name(),
 		NumRootThreads: nRoots,
+		Telemetry:      e.tel,
 	}, e.rng)
 	for i := 0; i < nRoots; i++ {
 		e.strat.OnThreadStart(e.threads[i].id, memmodel.InitThread)
@@ -447,6 +463,14 @@ func (e *Engine) driveStep() (granted *Thread, res response, ended bool) {
 	t := e.thread(tid)
 	if t == nil || !e.isEnabled(t) {
 		panic(fmt.Sprintf("pctwm: strategy %s chose non-enabled thread %d", e.strat.Name(), tid))
+	}
+	if e.tel != nil {
+		if t == e.lastGranted {
+			e.tel.SameThreadGrants++
+		} else {
+			e.tel.Handoffs++
+		}
+		e.lastGranted = t
 	}
 	e.outcome.Steps++
 	e.stepsSinceProgress++

@@ -68,6 +68,9 @@ func (e *Engine) finishEvent(t *Thread, ev *memmodel.Event) {
 			e.outcome.CommEvents++
 		}
 	}
+	if e.tel != nil {
+		e.tel.CountOp(ev.Label.Kind, ev.Label.Order)
+	}
 	e.record(ev)
 	e.strat.OnEvent(ev)
 }
@@ -117,6 +120,11 @@ func (e *Engine) readCandidates(t *Thread, l memmodel.Loc, excludeVal bool, excl
 		cands = append(cands, ReadCandidate{Stamp: m.stamp, Value: m.val, Writer: m.event, WriterTID: m.tid})
 	}
 	e.candBuf = cands
+	if e.tel != nil {
+		// Sole materialization point of candidate bags: observing here
+		// counts each read's readGlobal search space exactly once.
+		e.tel.RFCandidates.Observe(uint64(len(cands)))
+	}
 	return cands
 }
 
@@ -432,6 +440,9 @@ func (e *Engine) progress() { e.stepsSinceProgress = 0 }
 func (e *Engine) raceCheck(t *Thread, ev memmodel.EventID, l memmodel.Loc, write, nonAtomic bool, clock int32) {
 	if e.det == nil {
 		return
+	}
+	if e.tel != nil {
+		e.tel.RaceChecks++
 	}
 	e.det.OnAccess(t.id, ev, l, write, nonAtomic, clock, t.curVC)
 }

@@ -6,6 +6,7 @@ import (
 
 	"pctwm/internal/memmodel"
 	"pctwm/internal/race"
+	"pctwm/internal/telemetry"
 )
 
 // Recording is the execution graph material captured when Options.Record
@@ -191,6 +192,15 @@ type Options struct {
 	DetectRaces bool
 	// MaxRaces caps the number of reported races (default 16).
 	MaxRaces int
+	// Telemetry, when non-nil, receives per-execution engine counters (op
+	// kind/order matrix, handoffs vs same-thread grants, rf candidate-bag
+	// sizes, change-point depths, race checks). The counters use plain
+	// field increments — a Runner is single-threaded by contract — so an
+	// EngineCounters must not be shared by Runners that run concurrently
+	// (campaign workers each get their own shard, merged at the end). A
+	// nil Telemetry costs exactly one predictable branch per hook and
+	// allocates nothing.
+	Telemetry *telemetry.EngineCounters `json:"-"`
 	// Baton selects the legacy channel-select baton scheduler instead of
 	// the default direct-handoff scheduler. Both produce bit-identical
 	// schedules and outcomes for the same seed; the legacy path is kept

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"pctwm/internal/memmodel"
+	"pctwm/internal/telemetry"
 )
 
 // ReadCandidate is one coherence-legal write a read may read from.
@@ -44,6 +45,11 @@ type ProgramInfo struct {
 	Name string
 	// NumRootThreads is the number of threads that exist at the start.
 	NumRootThreads int
+	// Telemetry is the engine's counter shard for this execution (nil when
+	// telemetry is off). Strategies with interesting internal events — the
+	// PCTWM priority change points — log into it; like the engine, they
+	// must guard every use with a nil check.
+	Telemetry *telemetry.EngineCounters
 }
 
 // Strategy decides scheduling and read behavior for one execution. The

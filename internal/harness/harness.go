@@ -17,6 +17,7 @@ import (
 	"pctwm/internal/core"
 	"pctwm/internal/engine"
 	"pctwm/internal/stats"
+	"pctwm/internal/telemetry"
 )
 
 // Estimate holds measured program parameters, obtained like the paper by
@@ -98,14 +99,40 @@ type TrialResult struct {
 	// diverged from the original outcome for the same (program, strategy,
 	// seed) — an engine or strategy determinism bug.
 	Nondeterministic int
+	// Telemetry holds the merged per-worker engine counters when the
+	// campaign collected them (Campaign.Telemetry or a caller-provided
+	// engine.Options.Telemetry); nil otherwise. Totals are bit-identical
+	// between serial and parallel campaigns over the same seed set.
+	Telemetry *telemetry.EngineCounters
 }
 
 // Rate returns the bug hitting rate in percent (the paper's metric).
+// Zero-guarded: an empty batch rates 0, never NaN (which would poison
+// JSON encoding downstream).
 func (r TrialResult) Rate() float64 {
 	if r.Runs == 0 {
 		return 0
 	}
 	return 100 * float64(r.Hits) / float64(r.Runs)
+}
+
+// TrialsPerSec returns the batch completion rate against wall-clock
+// time. Zero-guarded: zero-trial or zero-duration batches (interrupted
+// campaigns, sub-resolution timers) rate 0, never NaN/Inf.
+func (r TrialResult) TrialsPerSec() float64 {
+	if r.Runs == 0 || r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Runs) / r.Wall.Seconds()
+}
+
+// NsPerEvent returns the mean execution cost per memory event in
+// nanoseconds, zero-guarded like Rate and TrialsPerSec.
+func (r TrialResult) NsPerEvent() float64 {
+	if r.TotalEvents == 0 || r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Elapsed.Nanoseconds()) / float64(r.TotalEvents)
 }
 
 // CI95 returns the 95%% Wilson confidence interval of the hit rate, in

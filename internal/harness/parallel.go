@@ -5,12 +5,16 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pctwm/internal/engine"
 	"pctwm/internal/replay"
+	"pctwm/internal/telemetry"
+	"pctwm/internal/telemetry/perfetto"
 )
 
 // ResolveWorkers maps a -workers style flag value to an actual worker
@@ -63,6 +67,23 @@ type Campaign struct {
 	// memory operations) cannot be killed and is leaked — the diagnostics
 	// name it. 0 disables the watchdog.
 	StuckTimeout time.Duration
+	// Telemetry enables per-worker engine counters: every worker's Runner
+	// gets its own telemetry.EngineCounters shard (plain fields, no
+	// hot-path synchronization), merged at the end into
+	// TrialResult.Telemetry, the caller's engine.Options.Telemetry (if
+	// set), and Metrics. Collection is also implied by a non-nil
+	// engine.Options.Telemetry.
+	Telemetry bool
+	// Metrics, when non-nil, receives campaign-level observations (trial
+	// counts and durations, quarantine/timeout/cancel/stuck counters,
+	// repro triage verdicts, worker utilization) — the hub behind the
+	// -metrics-addr endpoint and the -progress reporter. Updated once per
+	// trial with atomics; never touched on the engine hot path.
+	Metrics *telemetry.Metrics
+	// EmbedPerfetto makes the repro sink embed a Chrome trace-event JSON
+	// rendering of each bundle's triage re-run (Bundle.Perfetto), for
+	// visual diffing of divergences in Perfetto. Requires ReproDir.
+	EmbedPerfetto bool
 }
 
 // defaultMaxRepros bounds bundle writing + flake triage when the caller
@@ -121,6 +142,25 @@ func RunCampaign(prog *engine.Program, detect func(*engine.Outcome) bool,
 	}
 	workers := ResolveWorkers(camp.Workers, runs)
 
+	// Telemetry collection: each worker gets a private EngineCounters
+	// shard (the engine writes it with plain fields — sharing one across
+	// workers would race), merged after the pool drains. The caller's
+	// Options.Telemetry, if any, is treated as an accumulator across
+	// campaigns: it is stripped here and merged into at the end.
+	collect := camp.Telemetry || opts.Telemetry != nil
+	telBase := opts.Telemetry
+	opts.Telemetry = nil
+	if camp.Metrics != nil {
+		camp.Metrics.AddExpected(runs)
+	}
+
+	// pprof labels: workers run under worker/strategy/program labels so
+	// CPU profiles of long campaigns attribute samples per worker and per
+	// configuration. The strategy label comes from the strategy value each
+	// worker creates anyway — RunCampaign never makes extra newStrategy
+	// calls (some callers hand out stateful strategies by call order).
+	progName := prog.Name()
+
 	// Derive the campaign context: the caller's context if any, wrapped in
 	// a cancelable child when the stuck-worker watchdog needs a kill
 	// switch. The engine polls it inside the step loop, so cancellation
@@ -148,13 +188,22 @@ func RunCampaign(prog *engine.Program, detect func(*engine.Outcome) bool,
 		sink = &reproSink{
 			prog: prog, newStrategy: newStrategy, opts: opts,
 			dir: camp.ReproDir, max: max,
+			metrics: camp.Metrics, embedPerfetto: camp.EmbedPerfetto,
 		}
 	}
 
 	start := time.Now()
 	if workers == 1 {
-		res = runWorker(prog, detect, newStrategy, runs, seed, opts, nil, ctx, sink, nil)
-		finishCampaign(&res, sink, start)
+		var tel *telemetry.EngineCounters
+		if collect {
+			tel = &telemetry.EngineCounters{}
+		}
+		strat := newStrategy()
+		labeledWorker(ctx, 0, strat.Name(), progName, func() {
+			res = runWorker(prog, detect, strat, newStrategy, runs, seed, opts, nil, ctx, sink, nil, tel, camp.Metrics)
+		})
+		finishTelemetry(&res, []*telemetry.EngineCounters{tel}, nil, telBase, camp.Metrics)
+		finishCampaign(&res, sink, start, camp.Metrics)
 		return res
 	}
 
@@ -163,15 +212,22 @@ func RunCampaign(prog *engine.Program, detect func(*engine.Outcome) bool,
 		wg     sync.WaitGroup
 		locals = make([]TrialResult, workers)
 		states = make([]*workerState, workers)
+		shards = make([]*telemetry.EngineCounters, workers)
 	)
 	for w := 0; w < workers; w++ {
 		states[w] = &workerState{}
 		states[w].beat.Store(time.Now().UnixNano())
+		if collect {
+			shards[w] = &telemetry.EngineCounters{}
+		}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			defer states[w].done.Store(true)
-			locals[w] = runWorker(prog, detect, newStrategy, runs, seed, opts, &next, ctx, sink, states[w])
+			strat := newStrategy()
+			labeledWorker(ctx, w, strat.Name(), progName, func() {
+				locals[w] = runWorker(prog, detect, strat, newStrategy, runs, seed, opts, &next, ctx, sink, states[w], shards[w], camp.Metrics)
+			})
 		}(w)
 	}
 
@@ -190,13 +246,65 @@ func RunCampaign(prog *engine.Program, detect func(*engine.Outcome) bool,
 		}
 		mergeTrialResults(&res, l)
 	}
-	finishCampaign(&res, sink, start)
+	finishTelemetry(&res, shards, states, telBase, camp.Metrics)
+	finishCampaign(&res, sink, start, camp.Metrics)
 	return res
 }
 
-// finishCampaign folds the repro sink into the merged result and stamps
-// the batch wall time.
-func finishCampaign(res *TrialResult, sink *reproSink, start time.Time) {
+// labeledWorker runs f under pprof goroutine labels naming the worker,
+// strategy and program, so CPU/goroutine profiles of long campaigns can
+// be filtered per worker and per configuration.
+func labeledWorker(ctx context.Context, w int, strategy, program string, f func()) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pprof.Do(ctx, pprof.Labels(
+		"pctwm_worker", strconv.Itoa(w),
+		"pctwm_strategy", strategy,
+		"pctwm_program", program,
+	), func(context.Context) { f() })
+}
+
+// finishTelemetry merges the per-worker counter shards — in worker order,
+// though Merge is commutative so any order yields bit-identical totals —
+// into the campaign result, the caller's accumulator and the metrics hub.
+// Shards of workers that never published (stuck, see watchCampaign) are
+// skipped: a wedged goroutine may still be writing its shard.
+func finishTelemetry(res *TrialResult, shards []*telemetry.EngineCounters, states []*workerState, base *telemetry.EngineCounters, m *telemetry.Metrics) {
+	merged := &telemetry.EngineCounters{}
+	any := false
+	for w, s := range shards {
+		if s == nil {
+			continue
+		}
+		if states != nil && !states[w].done.Load() {
+			continue
+		}
+		any = true
+		merged.Merge(s)
+		// Keep a bounded change-point log for diagnostics: the first
+		// shard's entries (the log is per-Runner and excluded from merged
+		// totals, so this does not perturb determinism of the counters).
+		if len(merged.ChangePoints) == 0 && len(s.ChangePoints) > 0 {
+			merged.ChangePoints = append(merged.ChangePoints, s.ChangePoints...)
+		}
+	}
+	if !any {
+		return
+	}
+	res.Telemetry = merged
+	if base != nil {
+		base.Merge(merged)
+	}
+	if m != nil {
+		m.MergeEngine(merged)
+	}
+}
+
+// finishCampaign folds the repro sink into the merged result, stamps the
+// batch wall time, and reports campaign-terminal conditions to the
+// metrics hub.
+func finishCampaign(res *TrialResult, sink *reproSink, start time.Time, m *telemetry.Metrics) {
 	if sink != nil {
 		sink.mu.Lock()
 		res.Failures = append(res.Failures, sink.captured...)
@@ -204,6 +312,14 @@ func finishCampaign(res *TrialResult, sink *reproSink, start time.Time) {
 		sink.mu.Unlock()
 	}
 	res.Wall = time.Since(start)
+	if m != nil {
+		if res.Interrupted {
+			m.CampaignInterrupted()
+		}
+		if res.Stuck {
+			m.WorkerStuck()
+		}
+	}
 }
 
 // mergeTrialResults accumulates a worker's local result into the merged
@@ -330,12 +446,21 @@ func closeQuarantined(r *engine.Runner) {
 // runWorker drains trial indices — sequentially when next is nil, from the
 // shared counter otherwise — on one pooled Runner, applying the per-trial
 // resilience protocol: heartbeat, cancellation check, panic quarantine,
-// outcome classification and failure capture.
+// outcome classification, failure capture, and (when armed) telemetry:
+// tel is this worker's private engine-counter shard, metrics the shared
+// campaign hub (atomics, touched once per trial). strat is the worker's
+// already-created strategy (its Name labels the worker's pprof context);
+// newStrategy only mints quarantine replacements.
 func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
-	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options,
-	next *atomic.Int64, ctx context.Context, sink *reproSink, ws *workerState) TrialResult {
+	strat engine.Strategy, newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options,
+	next *atomic.Int64, ctx context.Context, sink *reproSink, ws *workerState,
+	tel *telemetry.EngineCounters, metrics *telemetry.Metrics) TrialResult {
 	var local TrialResult
-	strat := newStrategy()
+	opts.Telemetry = tel
+	if metrics != nil {
+		metrics.WorkerStarted()
+		defer metrics.WorkerDone()
+	}
 	r := engine.NewRunner(prog, opts)
 	defer func() { r.Close() }()
 	for i := 0; ; i++ {
@@ -360,6 +485,9 @@ func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
 			// Quarantine: count the panic, replace the suspect Runner and
 			// strategy, and keep draining rounds.
 			local.Panics++
+			if metrics != nil {
+				metrics.ObserveTrial(telemetry.TrialObs{Quarantined: true})
+			}
 			if sink != nil {
 				sink.capture(s, "harness-panic", "panic escaped the engine: "+pan.val,
 					replay.OutcomeSummary{}, pan)
@@ -371,6 +499,23 @@ func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
 		}
 		local.TotalEvents += o.Events
 		local.Elapsed += o.Duration
+		hit := false
+		if !o.Canceled {
+			// Canceled trials summarize a partial execution; they are not
+			// classified (preserving pre-telemetry behaviour, where the
+			// worker broke out before running the detector).
+			hit = detect(o)
+		}
+		if metrics != nil {
+			metrics.ObserveTrial(telemetry.TrialObs{
+				Duration:   o.Duration,
+				Events:     o.Events,
+				Hit:        hit,
+				Deadlocked: o.Deadlocked,
+				TimedOut:   o.TimedOut,
+				Canceled:   o.Canceled,
+			})
+		}
 		if o.Canceled {
 			local.Canceled++
 			local.Interrupted = true
@@ -384,7 +529,6 @@ func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
 		if o.Deadlocked {
 			local.Deadlock++
 		}
-		hit := detect(o)
 		if hit {
 			local.Hits++
 		}
@@ -447,6 +591,11 @@ type reproSink struct {
 	opts        engine.Options
 	dir         string
 	max         int
+	// metrics, when non-nil, receives one ReproTriaged observation per
+	// written bundle. embedPerfetto makes the triage re-run record its
+	// execution graph and embeds it as a Chrome trace-event document.
+	metrics       *telemetry.Metrics
+	embedPerfetto bool
 
 	slots atomic.Int64 // claimed capture slots (may exceed max; >max are dropped)
 
@@ -469,6 +618,9 @@ func (s *reproSink) capture(seed int64, kind, msg string, orig replay.OutcomeSum
 		s.nondet++
 	}
 	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.ReproTriaged(fail.Triage)
+	}
 }
 
 // triage re-runs the failing seed on a fresh Runner with a recorder
@@ -482,6 +634,16 @@ func (s *reproSink) triage(seed int64, kind, msg string, orig replay.OutcomeSumm
 	reOpts := s.opts
 	reOpts.Context = nil
 	reOpts.MaxWallTime = 0
+	// The re-run gets its own telemetry shard (never a campaign worker's
+	// — triage runs concurrently with workers): change points logged into
+	// it annotate the embedded Perfetto trace.
+	reOpts.Telemetry = nil
+	var reTel *telemetry.EngineCounters
+	if s.embedPerfetto {
+		reOpts.Record = true
+		reTel = &telemetry.EngineCounters{}
+		reOpts.Telemetry = reTel
+	}
 
 	strat := s.newStrategy()
 	stratName := strat.Name()
@@ -526,6 +688,15 @@ func (s *reproSink) triage(seed int64, kind, msg string, orig replay.OutcomeSumm
 		}
 	}
 	bundle.Triage = fail.Triage
+	if s.embedPerfetto && o2 != nil && o2.Recording != nil {
+		var cps []telemetry.ChangePoint
+		if reTel != nil {
+			cps = reTel.ChangePoints
+		}
+		if data, err := perfetto.Marshal(o2.Recording, cps); err == nil {
+			bundle.Perfetto = data
+		}
+	}
 
 	path, err := bundle.WriteFile(s.dir)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"pctwm/internal/apps"
 	"pctwm/internal/engine"
+	"pctwm/internal/telemetry"
 )
 
 // PerfResult is one Table-4 measurement: an application tested by one
@@ -92,6 +93,11 @@ type EngineSnapshot struct {
 	// numbers).
 	AllocsPerRun float64 `json:"allocs_per_run"`
 	BytesPerRun  float64 `json:"bytes_per_run"`
+	// Telemetry digests the engine counters accumulated over the measured
+	// loop when the caller armed engine.Options.Telemetry; omitted (and
+	// costing nothing) otherwise. Old snapshots without the field decode
+	// fine — CompareSnapshots only reads NsPerEvent.
+	Telemetry *telemetry.EngineSummary `json:"telemetry,omitempty"`
 }
 
 // SnapshotDelta is the benchstat-style comparison of one
@@ -196,6 +202,10 @@ func MeasureEngine(name string, prog *engine.Program, strat engine.Strategy, run
 	}
 	if best > 0 {
 		snap.RunsPerSec = float64(runs) / best.Seconds()
+	}
+	if opts.Telemetry != nil {
+		s := opts.Telemetry.Summary()
+		snap.Telemetry = &s
 	}
 	return snap
 }

@@ -167,6 +167,11 @@ type Bundle struct {
 	HarnessPanic string    `json:"harness_panic,omitempty"`
 	Stack        string    `json:"stack,omitempty"`
 	WrittenAt    time.Time `json:"written_at"`
+	// Perfetto optionally embeds the triage re-run's schedule as a Chrome
+	// trace-event JSON document (Campaign.EmbedPerfetto), so a bundle's
+	// recorded execution can be opened in Perfetto directly and visually
+	// diffed against a diverging replay (pctwm-replay -perfetto-dir).
+	Perfetto json.RawMessage `json:"perfetto,omitempty"`
 }
 
 // NewBundle assembles a bundle for prog. Options are embedded as given

@@ -66,6 +66,35 @@ func Figure6CSV(w io.Writer, cfg Config) error {
 	return nil
 }
 
+// TelemetryCSV emits the per-benchmark engine-counter profile as CSV
+// (one row per benchmark; same campaigns as the Telemetry text section)
+// for machine consumption.
+func TelemetryCSV(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	cfg.phase("telemetry")
+	if _, err := fmt.Fprintln(w, "benchmark,trials,events,handoffs,same_thread_grants,rf_cand_mean,rf_cand_max,cp_depth_mean,cp_depth_max,race_checks"); err != nil {
+		return err
+	}
+	for _, b := range benchprog.All() {
+		if cfg.interrupted() {
+			return ErrInterrupted
+		}
+		camp := cfg.campaign()
+		camp.Telemetry = true
+		res, _ := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Depth, 1), cfg.Runs, cfg.Seed, 0, camp)
+		if res.Telemetry == nil {
+			return fmt.Errorf("report: campaign for %s produced no telemetry", b.Name)
+		}
+		s := res.Telemetry.Summary()
+		fmt.Fprintf(w, "%s,%d,%d,%d,%d,%.2f,%d,%.2f,%d,%d\n",
+			b.Name, s.Trials, s.Events, s.Handoffs, s.SameThreadGrants,
+			s.RFCandidates.Mean, s.RFCandidates.Max,
+			s.ChangePointDepth.Mean, s.ChangePointDepth.Max,
+			s.RaceChecks)
+	}
+	return nil
+}
+
 func writeCSVRow(w io.Writer, bench, strategy string, res harness.TrialResult) {
 	lo, hi := res.CI95()
 	fmt.Fprintf(w, "%s,%s,%.2f,%.2f,%.2f\n", bench, strategy, res.Rate(), lo, hi)

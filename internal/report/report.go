@@ -18,6 +18,7 @@ import (
 	"pctwm/internal/enumerate"
 	"pctwm/internal/harness"
 	"pctwm/internal/litmus"
+	"pctwm/internal/telemetry"
 )
 
 // ErrInterrupted is returned by a section whose Config.Context was
@@ -55,6 +56,11 @@ type Config struct {
 	ReproDir string
 	// MaxRepros caps bundles per trial batch (0 = the harness default).
 	MaxRepros int
+	// Metrics, when non-nil, receives live campaign metrics from every
+	// trial batch (the hub behind pctwm-experiments' -metrics-addr and
+	// -progress); sections additionally mark their name as the metrics
+	// phase so the progress line shows which artifact is being generated.
+	Metrics *telemetry.Metrics
 }
 
 // campaign maps the config onto the resilience knobs of one trial batch.
@@ -62,6 +68,15 @@ func (c Config) campaign() harness.Campaign {
 	return harness.Campaign{
 		Workers: c.Workers, Context: c.Context,
 		ReproDir: c.ReproDir, MaxRepros: c.MaxRepros,
+		Metrics: c.Metrics,
+	}
+}
+
+// phase marks the currently generating section on the metrics hub (no-op
+// without Metrics).
+func (c Config) phase(name string) {
+	if c.Metrics != nil {
+		c.Metrics.SetPhase(name)
 	}
 }
 
@@ -105,6 +120,7 @@ func newTab(w io.Writer) *tabwriter.Writer {
 // count k, measured communication event count kcom, and the bug depth d.
 func Table1(w io.Writer, cfg Config) error {
 	cfg = cfg.normalized()
+	cfg.phase("table1")
 	fmt.Fprintln(w, "Table 1: Data structure benchmarks.")
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Benchmark\tLOC\tk\tkcom\td")
@@ -123,6 +139,7 @@ func Table1(w io.Writer, cfg Config) error {
 // with the best history depth (paper Table 2).
 func Table2(w io.Writer, cfg Config) error {
 	cfg = cfg.normalized()
+	cfg.phase("table2")
 	fmt.Fprintf(w, "Table 2: PCTWM bug hitting rates (%%) over %d rounds for varying bug depth d.\n", cfg.Runs)
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Benchmark\td\tRate(d)\tRate(d+1)\tRate(d+2)")
@@ -145,6 +162,7 @@ func Table2(w io.Writer, cfg Config) error {
 // each benchmark's Table-3 bug depth (paper Table 3).
 func Table3(w io.Writer, cfg Config) error {
 	cfg = cfg.normalized()
+	cfg.phase("table3")
 	fmt.Fprintf(w, "Table 3: PCTWM bug hitting rates (%%) over %d rounds for varying history depth h.\n", cfg.Runs)
 	tw := newTab(w)
 	header := "Benchmark\tkcom\td"
@@ -175,6 +193,7 @@ func Table3(w io.Writer, cfg Config) error {
 // core configurations.
 func Table4(w io.Writer, cfg Config) error {
 	cfg = cfg.normalized()
+	cfg.phase("table4")
 	fmt.Fprintf(w, "Table 4: Performance on testing real-world applications (mean of %d runs, RSD in parentheses).\n", cfg.PerfRuns)
 	tw := newTab(w)
 	fmt.Fprintln(tw, "App\tMetric\tCores\tC11Tester\tPCTWM\tOverhead\tns/event (c11/pctwm)\tRaces (c11/pctwm)")
@@ -196,12 +215,12 @@ func Table4(w io.Writer, cfg Config) error {
 				metric = "ops/sec"
 				c11Cell = fmt.Sprintf("%.0f (%.1f%%)", c11.Throughput, c11.RSDPercent)
 				wmCell = fmt.Sprintf("%.0f (%.1f%%)", wm.Throughput, wm.RSDPercent)
-				overhead = fmt.Sprintf("%+.1f%%", 100*(c11.Throughput-wm.Throughput)/c11.Throughput)
+				overhead = fmt.Sprintf("%+.1f%%", safePct(c11.Throughput-wm.Throughput, c11.Throughput))
 			default:
 				metric = "time/ms"
 				c11Cell = fmt.Sprintf("%.2f (%.1f%%)", 1000*c11.MeanSeconds, c11.RSDPercent)
 				wmCell = fmt.Sprintf("%.2f (%.1f%%)", 1000*wm.MeanSeconds, wm.RSDPercent)
-				overhead = fmt.Sprintf("%+.1f%%", 100*(wm.MeanSeconds-c11.MeanSeconds)/c11.MeanSeconds)
+				overhead = fmt.Sprintf("%+.1f%%", safePct(wm.MeanSeconds-c11.MeanSeconds, c11.MeanSeconds))
 			}
 			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%.0f/%.0f\t%d/%d\n",
 				a.Name, metric, coreLabel, c11Cell, wmCell, overhead,
@@ -216,6 +235,7 @@ func Table4(w io.Writer, cfg Config) error {
 // over bug depths d..d+2 (and h ∈ 1..MaxH for PCTWM).
 func Figure5(w io.Writer, cfg Config) error {
 	cfg = cfg.normalized()
+	cfg.phase("figure5")
 	fmt.Fprintf(w, "Figure 5: Highest bug hitting rates (%%) observed over %d rounds.\n", cfg.Runs)
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Benchmark\tC11Tester\tPCT\tPCTWM\tPCTWM 95% CI")
@@ -264,6 +284,7 @@ var fig6Benchmarks = []struct {
 // the event count k grows while PCTWM stays stable.
 func Figure6(w io.Writer, cfg Config) error {
 	cfg = cfg.normalized()
+	cfg.phase("figure6")
 	fmt.Fprintf(w, "Figure 6: Bug hitting rates (%%) in %d rounds vs. inserted relaxed writes.\n", cfg.Fig6Runs)
 	for _, f := range fig6Benchmarks {
 		b, err := benchprog.ByName(f.name)
@@ -297,6 +318,7 @@ func Figure6(w io.Writer, cfg Config) error {
 // the POS paper popularized (related work, §7).
 func Coverage(w io.Writer, cfg Config) error {
 	cfg = cfg.normalized()
+	cfg.phase("coverage")
 	fmt.Fprintf(w, "Outcome coverage on litmus programs (distinct outcomes found in %d rounds / reachable).\n", cfg.Runs)
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Program\treachable\tC11Tester\tPOS\tPCT\tPCTWM(d=2,h=2)")
@@ -346,6 +368,7 @@ func Coverage(w io.Writer, cfg Config) error {
 // depth, together with PCTWM's theoretical lower bound (§5.4).
 func Baselines(w io.Writer, cfg Config) error {
 	cfg = cfg.normalized()
+	cfg.phase("baselines")
 	fmt.Fprintf(w, "Extended baselines: bug hitting rates (%%) over %d rounds at the design depth (h=1).\n", cfg.Runs)
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Benchmark\td\tC11Tester\tPOS\tPCT\tPCTWM\tPCTWM bound")
@@ -371,6 +394,7 @@ func Baselines(w io.Writer, cfg Config) error {
 // choices of §5.2.
 func Ablations(w io.Writer, cfg Config) error {
 	cfg = cfg.normalized()
+	cfg.phase("ablation")
 	fmt.Fprintf(w, "Ablation: PCTWM ingredient contributions (%%), %d rounds, h=1, d = design depth.\n", cfg.Runs)
 	tw := newTab(w)
 	fmt.Fprintln(tw, "Benchmark\td\tfull\tno-history\tno-delay\tno-local-views")
@@ -394,6 +418,43 @@ func Ablations(w io.Writer, cfg Config) error {
 	return tw.Flush()
 }
 
+// Telemetry prints the engine-counter profile of one PCTWM campaign per
+// benchmark: how the executed-event mix, scheduler handoff ratio,
+// reads-from candidate-bag sizes, and priority-change-point depths differ
+// across the suite. The counters are merged from the per-worker shards of
+// each campaign, so the totals are identical for every Workers setting.
+func Telemetry(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	cfg.phase("telemetry")
+	fmt.Fprintf(w, "Engine telemetry per benchmark: PCTWM (h=1, design depth), %d rounds.\n", cfg.Runs)
+	tw := newTab(w)
+	fmt.Fprintln(tw, "Benchmark\ttrials\tevents\thandoff%\trf-cand (mean/max)\tcp-depth (mean/max)\trace checks")
+	for _, b := range benchprog.All() {
+		if cfg.interrupted() {
+			tw.Flush()
+			return ErrInterrupted
+		}
+		camp := cfg.campaign()
+		camp.Telemetry = true
+		res, _ := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Depth, 1), cfg.Runs, cfg.Seed, 0, camp)
+		if res.Telemetry == nil {
+			return fmt.Errorf("report: campaign for %s produced no telemetry", b.Name)
+		}
+		s := res.Telemetry.Summary()
+		grants := s.Handoffs + s.SameThreadGrants
+		handoffPct := 0.0
+		if grants > 0 {
+			handoffPct = 100 * float64(s.Handoffs) / float64(grants)
+		}
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.1f\t%.1f/%d\t%.1f/%d\t%d\n",
+			b.Name, s.Trials, s.Events, handoffPct,
+			s.RFCandidates.Mean, s.RFCandidates.Max,
+			s.ChangePointDepth.Mean, s.ChangePointDepth.Max,
+			s.RaceChecks)
+	}
+	return tw.Flush()
+}
+
 // All renders every table and figure in order.
 func All(w io.Writer, cfg Config) error {
 	sections := []func(io.Writer, Config) error{
@@ -408,6 +469,16 @@ func All(w io.Writer, cfg Config) error {
 		}
 	}
 	return nil
+}
+
+// safePct returns 100*num/den with a zero denominator guarded to 0, so
+// degenerate measurements (an app that completed in 0 observable time)
+// render as "+0.0%" instead of NaN/Inf.
+func safePct(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return 100 * num / den
 }
 
 func maxInt(a, b int) int {

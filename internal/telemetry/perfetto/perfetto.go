@@ -1,0 +1,232 @@
+// Package perfetto renders recorded executions (engine.Recording) as
+// Chrome trace-event JSON, the format Perfetto (ui.perfetto.dev) and
+// chrome://tracing load directly. One execution becomes one track per
+// thread with a slice per event, flow arrows for every reads-from edge,
+// and instant markers where PCTWM priority change points landed — so a
+// single weird schedule can be inspected visually instead of read as an
+// event list.
+//
+// The time axis is synthetic: executions are fully serialized, so the
+// i-th executed event is drawn at ts = i*slotUS microseconds with a fixed
+// duration. This preserves the one total order that matters (execution
+// order) while keeping slices wide enough to click.
+package perfetto
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+	"pctwm/internal/telemetry"
+)
+
+// slotUS is the synthetic width of one execution slot in microseconds;
+// sliceUS is the drawn duration of an event slice (slightly narrower than
+// its slot so adjacent slices do not touch).
+const (
+	slotUS  = 10
+	sliceUS = 8
+)
+
+// Event is one Chrome trace-event object. Only the fields this exporter
+// uses are modeled; see the Trace Event Format spec for their meaning.
+type Event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Trace is the JSON-object form of a trace-event file.
+type Trace struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// Convert builds the trace-event representation of a recording. cps, when
+// non-nil, marks the PCTWM priority change points (from
+// telemetry.EngineCounters.ChangePoints of the same run) as instant
+// events on the delayed events' slices. The output is deterministic for a
+// deterministic recording: events are emitted in thread-id then
+// execution order, and json.Marshal sorts the args maps.
+func Convert(rec *engine.Recording, cps []telemetry.ChangePoint) *Trace {
+	tr := &Trace{DisplayTimeUnit: "ms"}
+	if rec == nil {
+		return tr
+	}
+
+	// Execution position of every event (the recording is in execution
+	// order) and the set of threads that appear.
+	type pos struct {
+		ts  int64
+		tid int
+	}
+	posByID := make(map[memmodel.EventID]pos, len(rec.Events))
+	posByKey := make(map[[2]int]pos, len(rec.Events))
+	maxTID := 0
+	for i := range rec.Events {
+		ev := &rec.Events[i]
+		p := pos{ts: int64(i) * slotUS, tid: int(ev.TID)}
+		posByID[ev.ID] = p
+		posByKey[[2]int{int(ev.TID), ev.Index}] = p
+		if int(ev.TID) > maxTID {
+			maxTID = int(ev.TID)
+		}
+	}
+
+	// Track metadata: process name plus one named track per thread.
+	tr.TraceEvents = append(tr.TraceEvents, Event{
+		Name: "process_name", Ph: "M", PID: 0, TID: 0,
+		Args: map[string]any{"name": "pctwm execution"},
+	})
+	seen := make([]bool, maxTID+1)
+	for i := range rec.Events {
+		seen[int(rec.Events[i].TID)] = true
+	}
+	for tid := 0; tid <= maxTID; tid++ {
+		if !seen[tid] {
+			continue
+		}
+		name := "t" + strconv.Itoa(tid)
+		if memmodel.ThreadID(tid) == memmodel.InitThread {
+			name = "init"
+		}
+		tr.TraceEvents = append(tr.TraceEvents,
+			Event{Name: "thread_name", Ph: "M", PID: 0, TID: tid,
+				Args: map[string]any{"name": name}},
+			Event{Name: "thread_sort_index", Ph: "M", PID: 0, TID: tid,
+				Args: map[string]any{"sort_index": tid}},
+		)
+	}
+
+	// One slice per event.
+	for i := range rec.Events {
+		ev := &rec.Events[i]
+		e := Event{
+			Name: sliceName(ev, rec.LocNames),
+			Ph:   "X",
+			Cat:  ev.Label.Kind.String(),
+			TS:   int64(i) * slotUS,
+			Dur:  sliceUS,
+			PID:  0,
+			TID:  int(ev.TID),
+			Args: sliceArgs(ev, rec.LocNames),
+		}
+		tr.TraceEvents = append(tr.TraceEvents, e)
+	}
+
+	// Flow arrows for reads-from edges: start on the writer slice, finish
+	// (bind point "e": attach to the enclosing slice) on the reader slice.
+	flowID := 0
+	for i := range rec.Events {
+		ev := &rec.Events[i]
+		if !ev.Label.Kind.Reads() || ev.ReadsFrom == memmodel.NoEvent {
+			continue
+		}
+		wp, ok := posByID[ev.ReadsFrom]
+		if !ok {
+			continue // writer outside the recording (unrecorded init write)
+		}
+		rp := posByID[ev.ID]
+		flowID++
+		tr.TraceEvents = append(tr.TraceEvents,
+			Event{Name: "rf", Ph: "s", Cat: "rf", ID: flowID,
+				TS: wp.ts + sliceUS/2, PID: 0, TID: wp.tid},
+			Event{Name: "rf", Ph: "f", Cat: "rf", ID: flowID, BP: "e",
+				TS: rp.ts + sliceUS/2, PID: 0, TID: rp.tid},
+		)
+	}
+
+	// PCTWM change points: instant markers on the delayed events. A change
+	// point identifies its event by (thread, po index) — the event had not
+	// executed when it was logged — so it is located through posByKey; a
+	// delayed event that never executed (run aborted first) has no slice
+	// and is skipped.
+	for _, cp := range cps {
+		p, ok := posByKey[[2]int{int(cp.TID), cp.Index}]
+		if !ok {
+			continue
+		}
+		tr.TraceEvents = append(tr.TraceEvents, Event{
+			Name: fmt.Sprintf("change point (comm %d, slot %d)", cp.Comm, cp.Slot),
+			Ph:   "i", Cat: "change-point", S: "t",
+			TS: p.ts, PID: 0, TID: p.tid,
+			Args: map[string]any{"comm": cp.Comm, "slot": cp.Slot},
+		})
+	}
+	return tr
+}
+
+// sliceName renders the human-visible slice label, e.g. "W[rel] x = 1" or
+// "R[acq] flag -> 0".
+func sliceName(ev *memmodel.Event, locNames map[memmodel.Loc]string) string {
+	lab := ev.Label
+	switch lab.Kind {
+	case memmodel.KindRead:
+		return fmt.Sprintf("R[%s] %s -> %d", lab.Order, locName(lab.Loc, locNames), lab.RVal)
+	case memmodel.KindWrite:
+		return fmt.Sprintf("W[%s] %s = %d", lab.Order, locName(lab.Loc, locNames), lab.WVal)
+	case memmodel.KindRMW:
+		return fmt.Sprintf("U[%s] %s %d -> %d", lab.Order, locName(lab.Loc, locNames), lab.RVal, lab.WVal)
+	case memmodel.KindFence:
+		return fmt.Sprintf("F[%s]", lab.Order)
+	default:
+		return lab.Kind.String()
+	}
+}
+
+// sliceArgs carries the machine-readable event details shown in the
+// Perfetto details pane.
+func sliceArgs(ev *memmodel.Event, locNames map[memmodel.Loc]string) map[string]any {
+	args := map[string]any{
+		"event_id": int(ev.ID),
+		"index":    ev.Index,
+		"kind":     ev.Label.Kind.String(),
+		"order":    ev.Label.Order.String(),
+	}
+	if ev.Label.Loc != memmodel.NoLoc {
+		args["loc"] = locName(ev.Label.Loc, locNames)
+	}
+	if ev.Label.Kind.Reads() {
+		args["read_value"] = int64(ev.Label.RVal)
+		args["reads_from"] = int(ev.ReadsFrom)
+	}
+	if ev.Label.Kind.Writes() {
+		args["write_value"] = int64(ev.Label.WVal)
+		args["stamp"] = int(ev.Stamp)
+	}
+	return args
+}
+
+func locName(l memmodel.Loc, names map[memmodel.Loc]string) string {
+	if n, ok := names[l]; ok && n != "" {
+		return n
+	}
+	return "x" + strconv.Itoa(int(l))
+}
+
+// Marshal renders the recording as an indented trace-event JSON document.
+func Marshal(rec *engine.Recording, cps []telemetry.ChangePoint) ([]byte, error) {
+	return json.MarshalIndent(Convert(rec, cps), "", " ")
+}
+
+// Write streams the trace-event JSON to w (with a trailing newline).
+func Write(w io.Writer, rec *engine.Recording, cps []telemetry.ChangePoint) error {
+	data, err := Marshal(rec, cps)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

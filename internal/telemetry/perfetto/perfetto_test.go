@@ -1,0 +1,145 @@
+package perfetto
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pctwm/internal/core"
+	"pctwm/internal/engine"
+	"pctwm/internal/litmus"
+	"pctwm/internal/telemetry"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace files")
+
+// recordSB runs the SB+rlx litmus program once under PCTWM at a fixed
+// seed with recording and an armed counter shard, returning the
+// recording and the logged change points. The engine is deterministic
+// per (program, strategy, seed), so the trace is stable across runs and
+// platforms.
+func recordSB(t *testing.T) (*engine.Recording, []telemetry.ChangePoint) {
+	t.Helper()
+	var lt *litmus.Test
+	for _, cand := range litmus.Suite() {
+		if cand.Name == "SB+rlx" {
+			lt = cand
+			break
+		}
+	}
+	if lt == nil {
+		t.Fatal("litmus test SB+rlx not in the suite")
+	}
+	tel := &telemetry.EngineCounters{}
+	opts := engine.Options{Record: true, Telemetry: tel}
+	o := engine.Run(lt.Program, core.NewPCTWM(2, 1, 4), 3, opts)
+	if o.Recording == nil {
+		t.Fatal("no recording")
+	}
+	return o.Recording, tel.ChangePoints
+}
+
+// TestGoldenSBTrace: the exporter's output for a fixed litmus execution
+// matches the committed golden file byte-for-byte (deterministic event
+// order, sorted JSON maps). Regenerate with `go test -run Golden
+// ./internal/telemetry/perfetto -update` after intentional format
+// changes.
+func TestGoldenSBTrace(t *testing.T) {
+	rec, cps := recordSB(t)
+	got, err := Marshal(rec, cps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "sb_rlx_seed3.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("trace diverges from golden file %s (len %d vs %d); "+
+			"if the change is intentional, re-run with -update", golden, len(got), len(want))
+	}
+}
+
+// TestTraceShape: structural invariants that hold for any recording —
+// metadata present, one slice per event, rf flows in matched s/f pairs,
+// monotone slice timestamps per execution order.
+func TestTraceShape(t *testing.T) {
+	rec, cps := recordSB(t)
+	tr := Convert(rec, cps)
+
+	var slices, flowStarts, flowEnds, meta, instants int
+	lastTS := int64(-1)
+	for _, e := range tr.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.TS < lastTS {
+				t.Fatalf("slice timestamps not monotone: %d after %d", e.TS, lastTS)
+			}
+			lastTS = e.TS
+		case "s":
+			flowStarts++
+		case "f":
+			flowEnds++
+			if e.BP != "e" {
+				t.Fatalf("flow finish without bp=e: %+v", e)
+			}
+		case "M":
+			meta++
+		case "i":
+			instants++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if slices != len(rec.Events) {
+		t.Fatalf("%d slices for %d events", slices, len(rec.Events))
+	}
+	if flowStarts != flowEnds {
+		t.Fatalf("unbalanced rf flows: %d starts, %d ends", flowStarts, flowEnds)
+	}
+	if meta < 3 {
+		t.Fatalf("missing track metadata (%d events)", meta)
+	}
+
+	// The document must be loadable JSON with the trace-event envelope.
+	data, err := Marshal(rec, cps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != len(tr.TraceEvents) || doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("envelope mismatch: %d events, unit %q", len(doc.TraceEvents), doc.DisplayTimeUnit)
+	}
+}
+
+// TestConvertNil: a nil recording converts to an empty, valid trace.
+func TestConvertNil(t *testing.T) {
+	tr := Convert(nil, nil)
+	if len(tr.TraceEvents) != 0 {
+		t.Fatalf("nil recording produced %d events", len(tr.TraceEvents))
+	}
+	if _, err := Marshal(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
