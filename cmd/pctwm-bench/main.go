@@ -57,24 +57,32 @@ import (
 
 func main() {
 	var (
-		runs       = flag.Int("runs", 500, "rounds per strategy per benchmark")
-		seed       = flag.Int64("s", 1, "base random seed")
-		workers    = flag.Int("workers", 1, "worker goroutines per cell (0 = GOMAXPROCS, 1 = serial)")
-		depth      = flag.Int("d", -1, "bug depth override (-1 = each benchmark's design depth)")
-		history    = flag.Int("y", 1, "history depth for PCTWM")
-		jsonOut    = flag.Bool("json", false, "emit the engine performance snapshot as JSON instead of the hit-rate matrix")
-		benchSel   = flag.String("bench", "", "comma-separated benchmark names (default: all)")
-		compare    = flag.String("compare", "", "baseline snapshot JSON to diff the fresh measurement against (benchstat-style)")
-		maxRegress = flag.Float64("max-regress", 15, "with -compare: fail when ns_per_event regresses by more than this percent")
-		baton      = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
+		runs        = flag.Int("runs", 500, "rounds per strategy per benchmark")
+		seed        = flag.Int64("s", 1, "base random seed")
+		workers     = flag.Int("workers", 1, "worker goroutines per cell (0 = GOMAXPROCS, 1 = serial)")
+		depth       = flag.Int("d", -1, "bug depth override (-1 = each benchmark's design depth)")
+		history     = flag.Int("y", 1, "history depth for PCTWM")
+		jsonOut     = flag.Bool("json", false, "emit the engine performance snapshot as JSON instead of the hit-rate matrix")
+		benchSel    = flag.String("bench", "", "comma-separated benchmark names (default: all)")
+		compare     = flag.String("compare", "", "baseline snapshot JSON to diff the fresh measurement against (benchstat-style)")
+		maxRegress  = flag.Float64("max-regress", 15, "with -compare: fail when ns_per_event regresses by more than this percent")
+		baton       = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
 		reproDir    = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
 		maxRepros   = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per benchmark × strategy cell")
 		metricsAddr = flag.String("metrics-addr", "", "serve campaign metrics on this address (/metrics Prometheus, /metrics.json, /debug/vars)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address")
 		progress    = flag.Bool("progress", false, "print a periodic one-line campaign status to stderr")
 		telFlag     = flag.Bool("telemetry", false, "collect engine counters per cell (stderr summary; embedded in -json snapshots)")
+		model       = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso")
 	)
 	flag.Parse()
+	if !engine.ValidModel(*model) {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: unknown memory model %q (have %v)\n", *model, engine.Models())
+		os.Exit(2)
+	}
+	if *model == "" {
+		*model = engine.ModelRC11 // "" selects the default backend
+	}
 
 	// Graceful interruption: the first SIGINT/SIGTERM cancels the context
 	// (draining workers and flushing partial results); a second signal
@@ -121,6 +129,7 @@ func main() {
 	optsFor := func(b *benchprog.Benchmark) engine.Options {
 		opts := b.Options()
 		opts.Baton = *baton
+		opts.Model = *model
 		return opts
 	}
 

@@ -34,26 +34,38 @@ import (
 	"syscall"
 	"time"
 
+	"pctwm/internal/engine"
 	"pctwm/internal/report"
 	"pctwm/internal/telemetry"
 )
 
 func main() {
 	var (
-		quick     = flag.Bool("quick", false, "use the small smoke-run configuration")
-		runs      = flag.Int("runs", 0, "rounds per configuration for tables 2-3 and figure 5 (0 = default)")
-		fig6runs  = flag.Int("fig6runs", 0, "rounds per figure 6 point (0 = default)")
-		perfruns  = flag.Int("perfruns", 0, "timed runs per table 4 cell (0 = default)")
-		seed      = flag.Int64("seed", 0, "base random seed (0 = default)")
-		workers   = flag.Int("workers", 1, "worker goroutines per trial batch (0 = GOMAXPROCS, 1 = serial); results are identical for every worker count")
-		section   = flag.String("section", "all", "which artifact to regenerate: all, table1..table4, figure5, figure6, ablation, baselines, coverage, figure5csv, figure6csv, telemetry, telemetrycsv")
+		quick       = flag.Bool("quick", false, "use the small smoke-run configuration")
+		runs        = flag.Int("runs", 0, "rounds per configuration for tables 2-3 and figure 5 (0 = default)")
+		fig6runs    = flag.Int("fig6runs", 0, "rounds per figure 6 point (0 = default)")
+		perfruns    = flag.Int("perfruns", 0, "timed runs per table 4 cell (0 = default)")
+		seed        = flag.Int64("seed", 0, "base random seed (0 = default)")
+		workers     = flag.Int("workers", 1, "worker goroutines per trial batch (0 = GOMAXPROCS, 1 = serial); results are identical for every worker count")
+		section     = flag.String("section", "all", "which artifact to regenerate: all, table1..table4, figure5, figure6, ablation, baselines, coverage, figure5csv, figure6csv, telemetry, telemetrycsv")
 		reproDir    = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
 		maxRepros   = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per trial batch")
 		metricsAddr = flag.String("metrics-addr", "", "serve campaign metrics on this address (/metrics Prometheus, /metrics.json, /debug/vars)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address")
 		progress    = flag.Bool("progress", false, "print a periodic one-line campaign status to stderr")
+		model       = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso (the paper's tables are defined for rc11)")
 	)
 	flag.Parse()
+	if !engine.ValidModel(*model) {
+		fmt.Fprintf(os.Stderr, "pctwm-experiments: unknown memory model %q (have %v)\n", *model, engine.Models())
+		os.Exit(2)
+	}
+	if *model == "" {
+		*model = engine.ModelRC11 // "" selects the default backend
+	}
+	if *model != engine.ModelRC11 {
+		fmt.Fprintf(os.Stderr, "pctwm-experiments: note: running under %s; the paper's tables are defined for rc11, so rates for bugs that need weak behaviour will differ\n", *model)
+	}
 
 	// Graceful interruption: the first SIGINT/SIGTERM cancels the context
 	// (flushing the rows finished so far); a second signal kills the
@@ -81,6 +93,7 @@ func main() {
 	cfg.Context = ctx
 	cfg.ReproDir = *reproDir
 	cfg.MaxRepros = *maxRepros
+	cfg.Model = *model
 
 	// One metrics hub for the whole process: every report section's trial
 	// batches feed it, and the HTTP endpoint / progress reporter read it.
@@ -114,16 +127,16 @@ func main() {
 	defer stopProgress()
 
 	sections := map[string]func(io.Writer, report.Config) error{
-		"all":        report.All,
-		"table1":     report.Table1,
-		"table2":     report.Table2,
-		"table3":     report.Table3,
-		"table4":     report.Table4,
-		"figure5":    report.Figure5,
-		"figure6":    report.Figure6,
-		"ablation":   report.Ablations,
-		"baselines":  report.Baselines,
-		"coverage":   report.Coverage,
+		"all":          report.All,
+		"table1":       report.Table1,
+		"table2":       report.Table2,
+		"table3":       report.Table3,
+		"table4":       report.Table4,
+		"figure5":      report.Figure5,
+		"figure6":      report.Figure6,
+		"ablation":     report.Ablations,
+		"baselines":    report.Baselines,
+		"coverage":     report.Coverage,
 		"figure5csv":   report.Figure5CSV,
 		"figure6csv":   report.Figure6CSV,
 		"telemetry":    report.Telemetry,

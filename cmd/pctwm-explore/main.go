@@ -7,6 +7,12 @@
 //	pctwm-explore                 # explore the whole litmus suite
 //	pctwm-explore -t SB+rlx       # one test
 //	pctwm-explore -limit 100000   # cap the exploration
+//	pctwm-explore -engine.model tso   # exhaust the x86-TSO state space
+//
+// With -engine.model the enumeration runs against that backend and the
+// outcomes classify against the model's expectation table — the scripted
+// enumeration strategy is model-agnostic, so switching backends explores
+// a different reachable set under identical machinery.
 package main
 
 import (
@@ -25,8 +31,16 @@ func main() {
 		test  = flag.String("t", "", "litmus test name (empty = all)")
 		limit = flag.Int("limit", 2000000, "maximum executions to explore per test")
 		baton = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
+		model = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso")
 	)
 	flag.Parse()
+	if !engine.ValidModel(*model) {
+		fmt.Fprintf(os.Stderr, "pctwm-explore: unknown memory model %q (have %v)\n", *model, engine.Models())
+		os.Exit(2)
+	}
+	if *model == "" {
+		*model = engine.ModelRC11 // "" selects the default backend
+	}
 
 	suite := litmus.Suite()
 	if *test != "" {
@@ -48,34 +62,35 @@ func main() {
 
 	failures := 0
 	for _, lt := range suite {
-		counts, res := enumerate.Outcomes(lt.Program, engine.Options{Baton: *baton}, *limit, func(o *engine.Outcome) string {
+		counts, res := enumerate.Outcomes(lt.Program, engine.Options{Baton: *baton, Model: *model}, *limit, func(o *engine.Outcome) string {
 			return lt.Outcome(o.FinalValues)
 		})
-		fmt.Printf("%s (%s)\n", lt.Name, lt.Description)
+		fmt.Printf("%s (%s) [model %s]\n", lt.Name, lt.Description, *model)
 		fmt.Printf("  %d executions, complete=%v\n", res.Runs, res.Complete)
 		keys := make([]string, 0, len(counts))
 		for k := range counts {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
+		exp := lt.Expect(*model)
 		allowed := map[string]bool{}
-		for _, a := range lt.Allowed {
+		for _, a := range exp.Allowed {
 			allowed[a] = true
 		}
 		forbidden := map[string]bool{}
-		for _, f := range lt.Forbidden {
+		for _, f := range exp.Forbidden {
 			forbidden[f] = true
 		}
 		for _, k := range keys {
 			mark := " "
-			if forbidden[k] || (len(lt.Allowed) > 0 && !allowed[k]) {
+			if forbidden[k] || (len(exp.Allowed) > 0 && !allowed[k]) {
 				mark = "✗ ILLEGAL"
 				failures++
 			}
 			fmt.Printf("  [%s] ×%-6d %s\n", k, counts[k], mark)
 		}
 		if res.Complete {
-			for _, f := range lt.Forbidden {
+			for _, f := range exp.Forbidden {
 				fmt.Printf("  forbidden %q: unreachable ✓\n", f)
 			}
 		}

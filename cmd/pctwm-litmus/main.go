@@ -27,8 +27,16 @@ func main() {
 		history  = flag.Int("y", 2, "history depth (pctwm)")
 		seed     = flag.Int64("s", 1, "base random seed")
 		baton    = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
+		model    = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso (outcomes classify against that model's table)")
 	)
 	flag.Parse()
+	if !engine.ValidModel(*model) {
+		fmt.Fprintf(os.Stderr, "pctwm-litmus: unknown memory model %q (have %v)\n", *model, engine.Models())
+		os.Exit(2)
+	}
+	if *model == "" {
+		*model = engine.ModelRC11 // "" selects the default backend
+	}
 
 	newStrategy, err := makeFactory(*strategy, *depth, *history)
 	if err != nil {
@@ -38,7 +46,7 @@ func main() {
 
 	failures := 0
 	for _, t := range litmus.Suite() {
-		rep := t.RunOpts(newStrategy, *runs, *seed, engine.Options{Baton: *baton})
+		rep := t.RunOpts(newStrategy, *runs, *seed, engine.Options{Baton: *baton, Model: *model})
 		status := "ok  "
 		switch {
 		case len(rep.Illegal) > 0:
@@ -55,10 +63,10 @@ func main() {
 		fmt.Printf("%s %s\n", status, rep)
 	}
 	if failures > 0 {
-		fmt.Printf("%d conformance failure(s)\n", failures)
+		fmt.Printf("%d conformance failure(s) under %s\n", failures, *model)
 		os.Exit(1)
 	}
-	fmt.Println("all litmus tests conform to the model")
+	fmt.Printf("all litmus tests conform to the %s model\n", *model)
 }
 
 func makeFactory(name string, d, h int) (func() engine.Strategy, error) {

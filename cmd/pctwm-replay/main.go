@@ -46,12 +46,17 @@ func main() {
 		extraWrites = flag.Int("extra-writes", 0, "rebuild benchmark programs with this many inserted relaxed writes (Figure 6 campaigns)")
 		verbose     = flag.Bool("v", false, "print the replayed outcome summary for every bundle")
 		perfDir     = flag.String("perfetto-dir", "", "write recorded and replayed schedules as Chrome trace-event JSON under this directory")
+		model       = flag.String("engine.model", "", "require bundles to record this memory model (empty = replay each under its own recorded model)")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pctwm-replay [-extra-writes N] [-v] [-perfetto-dir DIR] bundle.json [bundle2.json ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *model != "" && !engine.ValidModel(*model) {
+		fmt.Fprintf(os.Stderr, "pctwm-replay: unknown memory model %q (have %v)\n", *model, engine.Models())
+		os.Exit(2)
+	}
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
@@ -59,7 +64,7 @@ func main() {
 
 	exit := 0
 	for _, path := range flag.Args() {
-		switch replayBundle(path, *extraWrites, *verbose, *perfDir) {
+		switch replayBundle(path, *extraWrites, *verbose, *perfDir, *model) {
 		case 1:
 			if exit == 0 {
 				exit = 1
@@ -74,10 +79,17 @@ func main() {
 // replayBundle loads, resolves and verifies one bundle, printing a
 // one-line verdict (plus details on divergence). Returns an exit status
 // contribution: 0 reproduced, 1 diverged, 2 load/resolve error.
-func replayBundle(path string, extraWrites int, verbose bool, perfDir string) int {
+func replayBundle(path string, extraWrites int, verbose bool, perfDir, wantModel string) int {
 	b, err := replay.LoadBundle(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pctwm-replay: %s: %v\n", path, err)
+		return 2
+	}
+	if wantModel != "" && b.Model != wantModel {
+		// A decision sequence is only meaningful under the semantics it was
+		// recorded against — refuse up front rather than report a divergence.
+		fmt.Fprintf(os.Stderr, "pctwm-replay: %s: bundle records memory model %q, -engine.model requires %q\n",
+			path, b.Model, wantModel)
 		return 2
 	}
 	prog, err := resolveProgram(b, extraWrites)

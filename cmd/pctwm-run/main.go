@@ -33,11 +33,19 @@ func main() {
 		extra    = flag.Int("extra", 0, "inserted relaxed writes (figure 6 instrumentation)")
 		verbose  = flag.Bool("v", false, "print the first detected failure")
 		baton    = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
+		model    = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso")
 	)
 	flag.Parse()
 	if *bench == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if !engine.ValidModel(*model) {
+		fmt.Fprintf(os.Stderr, "pctwm-run: unknown memory model %q (have %v)\n", *model, engine.Models())
+		os.Exit(2)
+	}
+	if *model == "" {
+		*model = engine.ModelRC11 // "" selects the default backend
 	}
 
 	prog, detect, opts, designDepth, err := lookup(*bench)
@@ -46,6 +54,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Baton = *baton
+	opts.Model = *model
 	d := *depth
 	if d < 0 {
 		d = designDepth

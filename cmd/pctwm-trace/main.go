@@ -41,9 +41,17 @@ func main() {
 		rounds   = flag.Int("rounds", 2000, "maximum rounds to search for a failing execution")
 		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of text")
 		baton    = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
+		model    = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso (the recheck verifies the same model's axioms)")
 		perfOut  = flag.String("perfetto", "", "also write the failing schedule as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
+	if !engine.ValidModel(*model) {
+		fmt.Fprintf(os.Stderr, "pctwm-trace: unknown memory model %q (have %v)\n", *model, engine.Models())
+		os.Exit(2)
+	}
+	if *model == "" {
+		*model = engine.ModelRC11 // "" selects the default backend
+	}
 
 	prog, detect, opts, designDepth, err := lookup(*bench)
 	if err != nil {
@@ -51,6 +59,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Baton = *baton
+	opts.Model = *model
 	d := *depth
 	if d < 0 {
 		d = designDepth
@@ -144,11 +153,11 @@ func main() {
 		fmt.Println("race:", r)
 	}
 	checkStart := time.Now()
-	vs := g.Check()
+	vs := g.CheckModel(*model)
 	tel.AddAxiomRecheck(time.Since(checkStart).Nanoseconds())
 	if len(vs) == 0 {
-		fmt.Printf("consistency: the execution satisfies the C11 axioms (rechecked in %v)\n",
-			time.Duration(tel.AxiomRecheckNs).Round(time.Microsecond))
+		fmt.Printf("consistency: the execution satisfies the %s axioms (rechecked in %v)\n",
+			*model, time.Duration(tel.AxiomRecheckNs).Round(time.Microsecond))
 	} else {
 		for _, v := range vs {
 			fmt.Println("consistency VIOLATION:", v)

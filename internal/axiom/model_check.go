@@ -1,0 +1,175 @@
+package axiom
+
+import (
+	"fmt"
+
+	"pctwm/internal/engine"
+	"pctwm/internal/memmodel"
+)
+
+// CheckModel verifies the recording against the axioms of the memory
+// model that produced it ("" means the default rc11 model). Recordings
+// are only meaningful against their own model: an rc11 execution with a
+// weak behaviour is expected to fail CheckSC, and that failure is a
+// property of the cross-check, not of the execution.
+func (g *Graph) CheckModel(model string) []Violation {
+	switch model {
+	case "", engine.ModelRC11:
+		return g.Check()
+	case engine.ModelSC:
+		return g.CheckSC()
+	case engine.ModelTSO:
+		return g.CheckTSO()
+	}
+	return []Violation{{Axiom: "model", Msg: fmt.Sprintf("unknown memory model %q (have %v)", model, engine.Models())}}
+}
+
+// CheckSC verifies sequential consistency: event ids are execution
+// order, so the single interleaving the engine serialized is the
+// witness, and every read (including the read side of RMWs) must
+// observe the execution-order-latest write to its location.
+func (g *Graph) CheckSC() []Violation {
+	vs := g.checkWellFormed()
+	last := make(map[memmodel.Loc]memmodel.EventID)
+	for _, ev := range g.Events {
+		if ev.Label.Kind.Reads() && ev.ReadsFrom != memmodel.NoEvent {
+			if w, ok := last[ev.Label.Loc]; ok && ev.ReadsFrom != w {
+				vs = append(vs, g.violation("sc-read",
+					"%s does not read the interleaving-latest write %s", ev.ID, w))
+			}
+		}
+		if ev.Label.Kind.Writes() {
+			last[ev.Label.Loc] = ev.ID
+		}
+	}
+	return vs
+}
+
+// tsoReplay is the operational x86-TSO state rebuilt while replaying a
+// recording: per-thread FIFO store buffers plus the single shared copy
+// of memory (the latest drained write per location).
+type tsoReplay struct {
+	mem map[memmodel.Loc]memmodel.EventID
+	buf map[memmodel.ThreadID][]memmodel.EventID
+}
+
+// drain flushes tid's buffer to memory in FIFO order.
+func (s *tsoReplay) drain(tid memmodel.ThreadID, g *Graph) {
+	for _, w := range s.buf[tid] {
+		s.mem[g.Events[w].Label.Loc] = w
+	}
+	s.buf[tid] = s.buf[tid][:0]
+}
+
+// drainThrough flushes owner's buffer up to and including entry w.
+func (s *tsoReplay) drainThrough(owner memmodel.ThreadID, w memmodel.EventID, g *Graph) {
+	b := s.buf[owner]
+	for i, id := range b {
+		s.mem[g.Events[id].Label.Loc] = id
+		if id == w {
+			s.buf[owner] = append(b[:0], b[i+1:]...)
+			return
+		}
+	}
+}
+
+// CheckTSO verifies the recording against operational x86-TSO (Owens,
+// Sarkar, Sewell 2009) by replaying it through store buffers: a load
+// must forward from its own buffer when possible, and otherwise read
+// either the shared-memory copy or a store still buffered in another
+// thread (which commits that store's FIFO prefix); RMWs and SC
+// operations flush the executing thread's buffer and act on memory
+// directly. End-of-thread drains are not replayed — a store made
+// visible that way is indistinguishable, to a later load, from one
+// observed by drain-through.
+func (g *Graph) CheckTSO() []Violation {
+	vs := g.checkWellFormed()
+	st := &tsoReplay{
+		mem: make(map[memmodel.Loc]memmodel.EventID),
+		buf: make(map[memmodel.ThreadID][]memmodel.EventID),
+	}
+	for _, ev := range g.Events {
+		switch ev.Label.Kind {
+		case memmodel.KindWrite:
+			if ev.Stamp == 1 {
+				// A location's first write is its initialization (static
+				// init or Alloc), visible to everyone immediately — the
+				// buffer never delays it.
+				st.mem[ev.Label.Loc] = ev.ID
+				continue
+			}
+			st.buf[ev.TID] = append(st.buf[ev.TID], ev.ID)
+			if ev.Label.Order.IsSC() {
+				st.drain(ev.TID, g) // MOV + MFENCE
+			}
+		case memmodel.KindRead:
+			if ev.ReadsFrom == memmodel.NoEvent {
+				continue // reported by checkWellFormed
+			}
+			// Mandatory store forwarding: the youngest own buffered
+			// store to the location wins.
+			if own := youngest(st.buf[ev.TID], ev.Label.Loc, g); own != memmodel.NoEvent {
+				if ev.ReadsFrom != own {
+					vs = append(vs, g.violation("tso-forward",
+						"%s must forward from its own buffered store %s, read %s instead",
+						ev.ID, own, ev.ReadsFrom))
+				}
+				continue
+			}
+			if w, ok := st.mem[ev.Label.Loc]; ok && w == ev.ReadsFrom {
+				continue // read the shared copy
+			}
+			if owner, ok := bufferOwner(st.buf, ev.ReadsFrom); ok {
+				st.drainThrough(owner, ev.ReadsFrom, g)
+				continue // observed a remote buffered store as it committed
+			}
+			vs = append(vs, g.violation("tso-read",
+				"%s reads %s, which is neither the shared copy nor buffered anywhere", ev.ID, ev.ReadsFrom))
+		case memmodel.KindRMW:
+			st.drain(ev.TID, g) // LOCK prefix: flush, then act on memory
+			if ev.ReadsFrom != memmodel.NoEvent {
+				if w, ok := st.mem[ev.Label.Loc]; !ok || w == ev.ReadsFrom {
+					// read the shared copy
+				} else if owner, ok := bufferOwner(st.buf, ev.ReadsFrom); ok {
+					// The source was still buffered elsewhere: its owner's
+					// FIFO prefix committed before the locked access.
+					st.drainThrough(owner, ev.ReadsFrom, g)
+				} else {
+					vs = append(vs, g.violation("tso-rmw",
+						"RMW %s must read the shared copy %s, read %s instead", ev.ID, w, ev.ReadsFrom))
+				}
+			}
+			st.mem[ev.Label.Loc] = ev.ID // the locked write skips the buffer
+		case memmodel.KindFence:
+			if ev.Label.Order.IsSC() {
+				st.drain(ev.TID, g) // MFENCE; weaker fences compile to nothing
+			}
+		case memmodel.KindSpawn:
+			st.drain(ev.TID, g) // the child must see the parent's writes
+		}
+	}
+	return vs
+}
+
+// youngest returns the most recent buffered store to loc in buf, or
+// NoEvent when the buffer holds none.
+func youngest(buf []memmodel.EventID, loc memmodel.Loc, g *Graph) memmodel.EventID {
+	for i := len(buf) - 1; i >= 0; i-- {
+		if g.Events[buf[i]].Label.Loc == loc {
+			return buf[i]
+		}
+	}
+	return memmodel.NoEvent
+}
+
+// bufferOwner finds which thread's buffer holds write w, if any.
+func bufferOwner(bufs map[memmodel.ThreadID][]memmodel.EventID, w memmodel.EventID) (memmodel.ThreadID, bool) {
+	for tid, b := range bufs {
+		for _, id := range b {
+			if id == w {
+				return tid, true
+			}
+		}
+	}
+	return 0, false
+}

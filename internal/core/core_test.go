@@ -11,7 +11,10 @@ import (
 )
 
 func pending(tid memmodel.ThreadID, index int, kind memmodel.Kind, ord memmodel.Order) engine.PendingOp {
-	return engine.PendingOp{TID: tid, Index: index, Kind: kind, Order: ord, Loc: 1}
+	return engine.PendingOp{
+		TID: tid, Index: index, Kind: kind, Order: ord, Loc: 1,
+		Comm: memmodel.Label{Kind: kind, Order: ord}.IsCommunicationEvent(),
+	}
 }
 
 func newRng() *rand.Rand { return rand.New(rand.NewSource(7)) }

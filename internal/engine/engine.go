@@ -67,20 +67,18 @@ type Engine struct {
 	wg     sync.WaitGroup
 	closed bool
 
-	// global SC synchronization state (paper §4 (SC) axiom, operationally:
-	// every SC event joins and then extends the global SC view).
-	scView memmodel.View
-	scVC   vclock.VC
+	// model is the active memory-model backend (Options.Model): the
+	// semantics of every memory operation — candidate sets, view/buffer
+	// updates, fence and RMW rules — while the engine keeps the
+	// model-agnostic machinery (scheduling, threads, mo bookkeeping,
+	// events, recording, telemetry).
+	model modelBackend
 
-	// initView/initVC are the view and clock produced by the
-	// initialization writes; their backing arrays persist across runs.
-	initView memmodel.View
-	initVC   vclock.VC
 	// initWarm marks the static init state as cached from a previous run:
 	// the first len(prog.locs) location slots still hold their single init
-	// message (value, bag, release clock, name) and initView/initVC their
-	// final values, so initMemory skips the rebuild entirely (the state is
-	// identical for every run of the same program).
+	// message (and the backend its root view), so initMemory skips the
+	// rebuild entirely (the state is identical for every run of the same
+	// program).
 	initWarm bool
 
 	nextEventID memmodel.EventID
@@ -189,6 +187,12 @@ func NewRunner(prog *Program, opts Options) *Runner {
 	e := &r.e
 	e.prog = prog
 	e.opts = opts.withDefaults()
+	e.model = newBackend(e, e.opts.Model)
+	if e.opts.Model != ModelRC11 {
+		// The vector-clock race detector is defined over the rc11 view
+		// machine's happens-before; other backends do not maintain clocks.
+		e.opts.DetectRaces = false
+	}
 	if e.opts.Baton {
 		e.parkCh = make(chan *Thread)
 		e.doneCh = make(chan threadDone)
@@ -240,8 +244,7 @@ func (e *Engine) reset(strat Strategy, seed int64) {
 		e.killed = make(chan struct{})
 	}
 	e.nextTID = 0
-	e.scView.Reset()
-	e.scVC.Reset()
+	e.model.resetRun()
 	e.nextEventID = 0
 	e.outcome = Outcome{}
 	e.rec = nil
@@ -258,6 +261,9 @@ func (e *Engine) reset(strat Strategy, seed int64) {
 	e.stepsSinceProgress = 0
 	e.stopped = false
 	e.tel = e.opts.Telemetry
+	if e.tel != nil && e.tel.Model == "" {
+		e.tel.Model = e.opts.Model
+	}
 	e.lastGranted = nil
 	e.ctxDone = nil
 	if e.opts.Context != nil {
@@ -347,8 +353,7 @@ func (e *Engine) releaseRun() {
 			base = 1
 		}
 		for j := base; j < len(loc.mo); j++ {
-			e.viewArena.Release(&loc.mo[j].bag)
-			e.vcArena.Release(&loc.mo[j].relVC)
+			e.model.releaseMessage(&loc.mo[j])
 		}
 		loc.mo = loc.mo[:base]
 		if i >= keep {
@@ -512,9 +517,9 @@ func (e *Engine) signalEnd() {
 }
 
 // initMemory creates the initialization writes (thread 0) and returns the
-// view/clock every root thread inherits. The returned view and clock are
-// engine-owned scratch (their backing arrays persist across runs); callers
-// must copy, not retain.
+// view/clock every root thread inherits (zero values for models without
+// views). The returned view and clock are backend-owned scratch (their
+// backing arrays persist across runs); callers must copy, not retain.
 func (e *Engine) initMemory() (memmodel.View, vclock.VC) {
 	k := len(e.prog.locs)
 	if e.initWarm && len(e.locs) != k {
@@ -524,20 +529,7 @@ func (e *Engine) initMemory() (memmodel.View, vclock.VC) {
 		e.invalidateInit()
 	}
 	if !e.initWarm {
-		e.initView.Reset()
-		e.initVC.Reset()
-		for i, d := range e.prog.locs {
-			l := memmodel.Loc(i + 1)
-			e.initVC.Tick(int(memmodel.InitThread))
-			bag := e.viewArena.New(int(l))
-			bag.Set(l, 1)
-			loc := e.pushLoc()
-			loc.name = d.name
-			m := loc.appendSlot()
-			m.val, m.tid, m.event = d.init, memmodel.InitThread, memmodel.EventID(i)
-			m.bag, m.relVC = bag, e.vcArena.Clone(e.initVC)
-			e.initView.Set(l, 1)
-		}
+		e.model.initStatic()
 		e.initWarm = true
 	}
 	// Initialization events bypass the strategy and the race detector; only
@@ -548,7 +540,7 @@ func (e *Engine) initMemory() (memmodel.View, vclock.VC) {
 	if e.rec != nil {
 		e.recordInitEvents()
 	}
-	return e.initView, e.initVC
+	return e.model.rootView()
 }
 
 // recordInitEvents appends the k initialization write events to the
@@ -575,8 +567,7 @@ func (e *Engine) invalidateInit() {
 	for i := range e.locs {
 		loc := &e.locs[i]
 		for j := range loc.mo {
-			e.viewArena.Release(&loc.mo[j].bag)
-			e.vcArena.Release(&loc.mo[j].relVC)
+			e.model.releaseMessage(&loc.mo[j])
 		}
 		loc.mo = loc.mo[:0]
 		loc.name = ""
@@ -700,6 +691,7 @@ func (e *Engine) waitForPark(t *Thread) {
 
 func (e *Engine) finishThread(t *Thread, done threadDone) {
 	t.finished = true
+	e.model.onThreadFinish(t)
 	e.stepsSinceProgress = 0
 	if done.panicked {
 		msg := fmt.Sprintf("thread %s (t%d) crashed: %v", t.Name(), t.id, done.panicVal)
@@ -792,7 +784,7 @@ func (e *Engine) finalValues() map[string]memmodel.Value {
 	miss := false
 	for i := range e.prog.locs {
 		if i < len(e.locs) && len(e.locs[i].mo) > 0 {
-			buf = append(buf, e.locs[i].maximal().val)
+			buf = append(buf, e.model.finalValue(i, &e.locs[i]))
 		} else {
 			miss = true // keep the cache key aligned with map contents
 			break
@@ -819,7 +811,7 @@ func (e *Engine) finalValues() map[string]memmodel.Value {
 	vals := make(map[string]memmodel.Value, len(e.prog.locs))
 	for i := range e.prog.locs {
 		if i < len(e.locs) && len(e.locs[i].mo) > 0 {
-			vals[e.locs[i].name] = e.locs[i].maximal().val
+			vals[e.locs[i].name] = e.model.finalValue(i, &e.locs[i])
 		}
 	}
 	if !miss && len(e.fvCache) < maxFinalValueCache {

@@ -5,32 +5,37 @@ import (
 	"strconv"
 
 	"pctwm/internal/memmodel"
-	"pctwm/internal/vclock"
 )
 
-// apply grants thread t's parked request and applies the memory-model
-// semantics (the view machine of Algorithm 2), returning the response the
-// thread resumes with. The caller (a baton holder, see driveStep) wakes t
-// with the response — or discards it when the run stopped. The request is
-// consumed in place (no copy): t cannot repost until it is woken.
+// apply grants thread t's parked request and applies the active memory
+// model's semantics, returning the response the thread resumes with. The
+// caller (a baton holder, see driveStep) wakes t with the response — or
+// discards it when the run stopped. The request is consumed in place (no
+// copy): t cannot repost until it is woken.
+//
+// Memory operations (loads, stores, RMWs, fences, allocations) dispatch
+// to the model backend; thread management (spawn, join, assert, yield) is
+// model-agnostic and handled here, with backend hooks where a model
+// attaches semantics to thread lifecycle (TSO drains buffers on spawn and
+// thread completion).
 func (e *Engine) apply(t *Thread) response {
 	req := &t.req
 	var res response
 	switch req.code {
 	case opLoad:
-		res.value = e.execRead(t, req.loc, req.order, false, 0)
+		res.value = e.model.execRead(t, req.loc, req.order, false, 0)
 	case opStore:
-		e.execWrite(t, req.loc, req.value, req.order)
+		e.model.execWrite(t, req.loc, req.value, req.order)
 	case opCAS:
-		res.value, res.ok = e.execCAS(t, req)
+		res.value, res.ok = e.model.execCAS(t, req)
 	case opFetchAdd:
-		res.value = e.execRMW(t, req.loc, req.order, func(old memmodel.Value) memmodel.Value { return old + req.value })
+		res.value = e.model.execRMW(t, req.loc, req.order, func(old memmodel.Value) memmodel.Value { return old + req.value })
 	case opExchange:
-		res.value = e.execRMW(t, req.loc, req.order, func(memmodel.Value) memmodel.Value { return req.value })
+		res.value = e.model.execRMW(t, req.loc, req.order, func(memmodel.Value) memmodel.Value { return req.value })
 	case opFence:
-		e.execFence(t, req.order)
+		e.model.execFence(t, req.order)
 	case opAlloc:
-		res.loc = e.execAlloc(t, req)
+		res.loc = e.model.execAlloc(t, req)
 	case opSpawn:
 		res.spawned = e.execSpawn(t, t.ext.spawnFn)
 	case opJoin:
@@ -53,18 +58,14 @@ func (e *Engine) beginEvent(t *Thread, lab memmodel.Label) (*memmodel.Event, int
 	return ev, clock
 }
 
-// finishEvent applies SC view propagation, recording, counting and
-// strategy notification — common tail of every memory event.
+// finishEvent applies the model's post-event propagation (rc11: SC view
+// extension), recording, counting and strategy notification — common tail
+// of every memory event.
 func (e *Engine) finishEvent(t *Thread, ev *memmodel.Event) {
-	if ev.Label.Order.IsSC() && ev.Label.Kind != memmodel.KindAssert {
-		// SC events extend the global SC view after their own update
-		// (Algorithm 2, getSC: successors observe this event's bag).
-		e.scView.Join(t.cur)
-		e.scVC.Join(t.curVC)
-	}
+	e.model.postEvent(t, ev)
 	if ev.Label.Kind.IsMemoryAccess() || ev.Label.Kind == memmodel.KindFence {
 		e.outcome.Events++
-		if ev.Label.IsCommunicationEvent() {
+		if e.model.commEvent(ev.Label) {
 			e.outcome.CommEvents++
 		}
 	}
@@ -75,13 +76,6 @@ func (e *Engine) finishEvent(t *Thread, ev *memmodel.Event) {
 	e.strat.OnEvent(ev)
 }
 
-// acquireSCView is called before an SC event touches memory: the event
-// observes the views of all SC-predecessors.
-func (e *Engine) acquireSCView(t *Thread) {
-	t.cur.Join(e.scView)
-	t.curVC.Join(e.scVC)
-}
-
 func (e *Engine) loc(l memmodel.Loc) *location {
 	i := int(l) - 1
 	if i < 0 || i >= len(e.locs) {
@@ -90,297 +84,8 @@ func (e *Engine) loc(l memmodel.Loc) *location {
 	return &e.locs[i]
 }
 
-// readCandidates returns the coherence-legal writes for a read of l by t in
-// ascending modification order. The coherence scan starts from the
-// reader's view timestamp (the thread's floor for l), not the head of the
-// modification order, so its cost is O(|candidates|) rather than O(|mo|).
-// Without filtering, Candidates[0] is the thread-local view write
-// (readLocal). When excludeVal is set, writes carrying excluded are
-// filtered out (the failure path of a strong CAS).
-//
-// Aliasing contract: the returned slice aliases the engine-owned scratch
-// buffer e.candBuf. It is valid only until the next readCandidates call;
-// execRead/execCAS/execReadOf therefore fully consume one candidate set
-// (strategy PickRead + message lookup) before issuing the next candidate
-// query, and strategies must not retain ReadContext.Candidates across
-// PickRead calls.
-func (e *Engine) readCandidates(t *Thread, l memmodel.Loc, excludeVal bool, excluded memmodel.Value) []ReadCandidate {
-	loc := e.loc(l)
-	floor := t.cur.Get(l)
-	if floor == 0 {
-		floor = 1
-	}
-	msgs := loc.mo[floor-1:]
-	cands := e.candBuf[:0]
-	for i := range msgs {
-		m := &msgs[i]
-		if excludeVal && m.val == excluded {
-			continue
-		}
-		cands = append(cands, ReadCandidate{Stamp: m.stamp, Value: m.val, Writer: m.event, WriterTID: m.tid})
-	}
-	e.candBuf = cands
-	if e.tel != nil {
-		// Sole materialization point of candidate bags: observing here
-		// counts each read's readGlobal search space exactly once.
-		e.tel.RFCandidates.Observe(uint64(len(cands)))
-	}
-	return cands
-}
-
-// execRead performs a load. When casFail is true the read is the failure
-// path of a CAS and the candidate set excludes values equal to expected.
-func (e *Engine) execRead(t *Thread, l memmodel.Loc, ord memmodel.Order, casFail bool, expected memmodel.Value) memmodel.Value {
-	if ord.IsSC() {
-		e.acquireSCView(t)
-	}
-	cands := e.readCandidates(t, l, casFail, expected)
-	if len(cands) == 0 {
-		panic(fmt.Sprintf("pctwm: no read candidates for %s at %s", t.Name(), e.locName(l)))
-	}
-	choice := 0
-	if len(cands) > 1 {
-		choice = e.strat.PickRead(ReadContext{
-			TID: t.id, Index: t.nextIndex, Loc: l, Order: ord,
-			RMWFailure: casFail, Candidates: cands,
-		})
-		if choice < 0 || choice >= len(cands) {
-			panic(fmt.Sprintf("pctwm: strategy %s picked read candidate %d of %d", e.strat.Name(), choice, len(cands)))
-		}
-	}
-	c := cands[choice]
-	m := e.loc(l).byStamp(c.Stamp)
-
-	ev, clock := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindRead, Order: ord, Loc: l, RVal: m.val})
-	ev.ReadsFrom = m.event
-
-	// View update (Algorithm 2 lines 9-19).
-	if ord.IsAcquire() {
-		// Synchronizing read: acquire the whole bag (line 14).
-		t.cur.Join(m.bag)
-		t.curVC.Join(m.relVC)
-	} else {
-		// Relaxed or non-atomic: only this location advances (line 16);
-		// the bag is stashed for a later acquire fence (sink-side
-		// (po;[F]) of the sw definition).
-		t.cur.Set(l, m.stamp)
-		t.acqStash.Join(m.bag)
-		t.acqStashVC.Join(m.relVC)
-	}
-
-	e.raceCheck(t, ev.ID, l, false, ord == memmodel.NonAtomic, clock)
-	e.spinCheck(t, l, m.val)
-	e.finishEvent(t, ev)
-	return m.val
-}
-
-// publishBag computes the view a new write at (l, ts) publishes. The
-// returned view's backing array comes from the view arena and is owned by
-// the message it is stored in.
-func (t *Thread) publishBag(l memmodel.Loc, ts memmodel.TS, ord memmodel.Order, readMsg *message) memmodel.View {
-	var bag memmodel.View
-	if ord.IsRelease() {
-		// Release write: publish the full thread view (sw source).
-		bag = t.eng.viewArena.Clone(t.cur)
-	} else {
-		// Relaxed write after a release fence still carries the fence's
-		// view (source-side ([F];po) of the sw definition).
-		bag = t.eng.viewArena.Clone(t.relFence)
-	}
-	if readMsg != nil {
-		// RMWs continue release sequences: rf+ chains through updates, so
-		// the update's message carries the read message's bag.
-		bag.Join(readMsg.bag)
-	}
-	bag.Set(l, ts)
-	return bag
-}
-
-// publishVC computes the happens-before clock a new write publishes along
-// sw; like publishBag, the backing array is arena-owned by the message.
-func (t *Thread) publishVC(ord memmodel.Order) vclock.VC {
-	if ord.IsRelease() {
-		return t.eng.vcArena.Clone(t.curVC)
-	}
-	return t.eng.vcArena.Clone(t.relFenceVC)
-}
-
-func (e *Engine) execWrite(t *Thread, l memmodel.Loc, v memmodel.Value, ord memmodel.Order) {
-	if ord.IsSC() {
-		e.acquireSCView(t)
-	}
-	loc := e.loc(l)
-	ev, clock := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindWrite, Order: ord, Loc: l, WVal: v})
-
-	ts := memmodel.TS(len(loc.mo) + 1)
-	bag := t.publishBag(l, ts, ord, nil)
-	relVC := t.publishVC(ord)
-	m := loc.appendSlot()
-	m.val, m.tid, m.event = v, t.id, ev.ID
-	m.bag, m.relVC = bag, relVC
-	m.nonAtomic = ord == memmodel.NonAtomic
-	ev.Stamp = ts
-	t.cur.Set(l, ts) // Algorithm 2 lines 4-5
-
-	t.resetSpin()
-	e.progress()
-	e.raceCheck(t, ev.ID, l, true, ord == memmodel.NonAtomic, clock)
-	e.finishEvent(t, ev)
-}
-
-// execRMW performs an atomic update: it reads the mo-maximal write (the
-// only read preserving atomicity with an append-only mo) and appends the
-// transformed value immediately after it.
-func (e *Engine) execRMW(t *Thread, l memmodel.Loc, ord memmodel.Order, f func(memmodel.Value) memmodel.Value) memmodel.Value {
-	if ord.IsSC() {
-		e.acquireSCView(t)
-	}
-	loc := e.loc(l)
-	old := loc.maximal()
-	newVal := f(old.val)
-	ev, clock := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindRMW, Order: ord, Loc: l, RVal: old.val, WVal: newVal})
-	ev.ReadsFrom = old.event
-
-	// Read side of the update.
-	if ord.IsAcquire() {
-		t.cur.Join(old.bag)
-		t.curVC.Join(old.relVC)
-	} else {
-		t.acqStash.Join(old.bag)
-		t.acqStashVC.Join(old.relVC)
-	}
-
-	// Write side.
-	ts := memmodel.TS(len(loc.mo) + 1)
-	bag := t.publishBag(l, ts, ord, old)
-	relVC := t.publishVC(ord)
-	relVC.Join(old.relVC)
-	m := loc.appendSlot()
-	m.val, m.tid, m.event = newVal, t.id, ev.ID
-	m.bag, m.relVC = bag, relVC
-	ev.Stamp = ts
-	t.cur.Set(l, ts)
-
-	t.resetSpin()
-	e.progress()
-	e.raceCheck(t, ev.ID, l, true, false, clock)
-	e.finishEvent(t, ev)
-	return old.val
-}
-
-func (e *Engine) execCAS(t *Thread, req *request) (memmodel.Value, bool) {
-	loc := e.loc(req.loc)
-	if loc.maximal().val == req.expected {
-		if req.weak {
-			// Weak CAS: the strategy may direct the operation at a
-			// non-maximal write, failing spuriously even though the
-			// exchange could have succeeded.
-			cands := e.readCandidates(t, req.loc, false, 0)
-			if len(cands) > 1 {
-				choice := e.strat.PickRead(ReadContext{
-					TID: t.id, Index: t.nextIndex, Loc: req.loc,
-					Order: req.failOrder, RMWFailure: true, Candidates: cands,
-				})
-				if choice < 0 || choice >= len(cands) {
-					panic(fmt.Sprintf("pctwm: strategy %s picked read candidate %d of %d", e.strat.Name(), choice, len(cands)))
-				}
-				if choice != len(cands)-1 {
-					v := e.execReadOf(t, req.loc, req.failOrder, cands[choice])
-					return v, false
-				}
-			}
-		}
-		old := e.execRMW(t, req.loc, req.order, func(memmodel.Value) memmodel.Value { return req.value })
-		return old, true
-	}
-	// Failure: a plain read that must observe a value ≠ expected (strong
-	// CAS fails only on a genuine mismatch; a weak CAS behaves the same
-	// once the maximal value differs). The mo-maximal write is always a
-	// candidate, so the filtered set is never empty here.
-	v := e.execRead(t, req.loc, req.failOrder, true, req.expected)
-	return v, false
-}
-
-// execReadOf performs a read event pinned to a specific candidate (used
-// by the weak-CAS spurious-failure path, which already consulted the
-// strategy).
-func (e *Engine) execReadOf(t *Thread, l memmodel.Loc, ord memmodel.Order, c ReadCandidate) memmodel.Value {
-	if ord.IsSC() {
-		e.acquireSCView(t)
-	}
-	m := e.loc(l).byStamp(c.Stamp)
-	ev, clock := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindRead, Order: ord, Loc: l, RVal: m.val})
-	ev.ReadsFrom = m.event
-	if ord.IsAcquire() {
-		t.cur.Join(m.bag)
-		t.curVC.Join(m.relVC)
-	} else {
-		t.cur.Set(l, m.stamp)
-		t.acqStash.Join(m.bag)
-		t.acqStashVC.Join(m.relVC)
-	}
-	e.raceCheck(t, ev.ID, l, false, ord == memmodel.NonAtomic, clock)
-	e.spinCheck(t, l, m.val)
-	e.finishEvent(t, ev)
-	return m.val
-}
-
-func (e *Engine) execFence(t *Thread, ord memmodel.Order) {
-	if !ord.IsAcquire() && !ord.IsRelease() {
-		panic(fmt.Sprintf("pctwm: fence with order %s", ord))
-	}
-	ev, _ := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindFence, Order: ord})
-	if ord.IsAcquire() {
-		// Claim the bags stashed by earlier relaxed reads (Algorithm 2
-		// lines 20-23, getSWSet).
-		t.cur.Join(t.acqStash)
-		t.curVC.Join(t.acqStashVC)
-	}
-	if ord.IsSC() {
-		e.acquireSCView(t)
-	}
-	if ord.IsRelease() {
-		// Snapshot for later relaxed writes (lines 24-25: the thread's own
-		// view does not change). CopyFrom reuses the snapshot's backing
-		// array across fences.
-		t.relFence.CopyFrom(t.cur)
-		t.relFenceVC.CopyFrom(t.curVC)
-	}
-	e.finishEvent(t, ev)
-}
-
-func (e *Engine) execAlloc(t *Thread, req *request) memmodel.Loc {
-	base := memmodel.Loc(len(e.locs) + 1)
-	for i := 0; i < req.allocN; i++ {
-		var init memmodel.Value
-		if i < len(t.ext.allocInit) {
-			init = t.ext.allocInit[i]
-		}
-		l := memmodel.Loc(len(e.locs) + 1)
-
-		ev, clock := e.beginEvent(t, memmodel.Label{
-			Kind: memmodel.KindWrite, Order: memmodel.NonAtomic, Loc: l, WVal: init,
-		})
-		ev.Stamp = 1
-		bag := e.viewArena.New(int(l))
-		bag.Set(l, 1)
-		loc := e.pushLoc()
-		loc.allocName = t.ext.allocName
-		loc.allocBase = base
-		loc.allocIdx = i
-		loc.mo = append(loc.mo, message{
-			stamp: 1, val: init, tid: t.id, event: ev.ID,
-			bag: bag, relVC: e.vcArena.Clone(t.relFenceVC), nonAtomic: true,
-		})
-		t.cur.Set(l, 1)
-		e.raceCheck(t, ev.ID, l, true, true, clock)
-		e.finishEvent(t, ev)
-	}
-	e.progress()
-	return base
-}
-
 func (e *Engine) execSpawn(t *Thread, fn ThreadFunc) *ThreadHandle {
+	e.model.onSpawn(t)
 	ev, _ := e.beginEvent(t, memmodel.Label{Kind: memmodel.KindSpawn})
 	// The child is named lazily ("parent.id", see Thread.Name): no string
 	// formatting on the spawn hot path.
@@ -409,7 +114,8 @@ func (e *Engine) execJoin(t *Thread, child memmodel.ThreadID) {
 	if e.rec != nil {
 		e.rec.JoinLinks = append(e.rec.JoinLinks, JoinLink{Child: child, To: ev.ID})
 	}
-	// Child termination synchronizes with the join.
+	// Child termination synchronizes with the join (the views are empty
+	// and the join is a no-op under models that do not track them).
 	t.cur.Join(c.cur)
 	t.curVC.Join(c.curVC)
 	e.finishEvent(t, ev)

@@ -72,13 +72,16 @@ type PendingOp struct {
 	Kind  memmodel.Kind
 	Order memmodel.Order
 	Loc   memmodel.Loc
+	// Comm marks the pending event as a potential communication sink
+	// under the active memory model (rc11: SC ∪ R ∪ F⊒acq, Definition 3;
+	// sc/tso: reads and RMWs). The engine computes it from the backend at
+	// post time, so strategies stay model-agnostic.
+	Comm bool
 }
 
 // IsCommunicationEvent reports whether the pending event is a potential
-// communication sink (SC ∪ R ∪ F⊒acq, Definition 3).
-func (p PendingOp) IsCommunicationEvent() bool {
-	return memmodel.Label{Kind: p.Kind, Order: p.Order}.IsCommunicationEvent()
-}
+// communication sink under the memory model the engine is running.
+func (p PendingOp) IsCommunicationEvent() bool { return p.Comm }
 
 func (r *request) pendingKind() memmodel.Kind {
 	switch r.code {

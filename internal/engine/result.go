@@ -160,6 +160,14 @@ func (o *Outcome) Abnormal() bool { return o.Err != nil }
 // non-serializable fields carry `json:"-"` and must be re-attached after
 // decoding.
 type Options struct {
+	// Model selects the memory-model backend: "rc11" (default — the
+	// paper's C11 view machine), "sc" (sequential consistency, the
+	// differential-testing baseline) or "tso" (x86-TSO store buffers).
+	// Strategies run unchanged on every model; the backend decides read
+	// candidates, synchronization and which operations count as
+	// communication events. Race detection (DetectRaces) is defined over
+	// the rc11 happens-before and is ignored by the other backends.
+	Model string `json:"model,omitempty"`
 	// MaxSteps aborts the execution after this many scheduler grants
 	// (guards against livelocks the strategy cannot escape). 0 means the
 	// default of 100000.
@@ -212,6 +220,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Model == "" {
+		o.Model = ModelRC11
+	}
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 100000
 	}

@@ -66,7 +66,8 @@ type Thread struct {
 	// the starter instead of driving the scheduler itself.
 	firstPark bool
 
-	// memory-model state (paper §5.1 / Algorithm 2)
+	// rc11 memory-model state (paper §5.1 / Algorithm 2); empty under
+	// other backends
 	cur      memmodel.View // thread view: latest observed write per location
 	acqStash memmodel.View // bags stashed by relaxed reads, claimed by F⊒acq
 	relFence memmodel.View // view snapshot at the last release fence
@@ -75,6 +76,10 @@ type Thread struct {
 	curVC      vclock.VC
 	acqStashVC vclock.VC
 	relFenceVC vclock.VC
+
+	// tso memory-model state: the thread's FIFO store buffer (empty under
+	// other backends)
+	tsoBuf []tsoEntry
 
 	// bookkeeping
 	nextIndex int // po index of the next event
@@ -114,6 +119,7 @@ func (t *Thread) recycle() {
 	t.curVC.Reset()
 	t.acqStashVC.Reset()
 	t.relFenceVC.Reset()
+	t.tsoBuf = t.tsoBuf[:0]
 	t.nextIndex = 0
 	t.finished = false
 	t.started = false
@@ -126,12 +132,14 @@ func (t *Thread) recycle() {
 // enabledOps does not recompute it on every scheduling decision while the
 // thread stays parked.
 func (t *Thread) submit() response {
+	kind := t.req.pendingKind()
 	t.pend = PendingOp{
 		TID:   t.id,
 		Index: t.nextIndex,
-		Kind:  t.req.pendingKind(),
+		Kind:  kind,
 		Order: t.req.order,
 		Loc:   t.req.loc,
+		Comm:  t.eng.model.commSink(kind, t.req.order),
 	}
 	if t.eng.opts.Baton {
 		return t.postBaton()

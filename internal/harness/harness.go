@@ -228,6 +228,9 @@ func BenchTrials(b *benchprog.Benchmark, factory StrategyFactory, runs int, seed
 func BenchTrialsCampaign(b *benchprog.Benchmark, factory StrategyFactory, runs int, seed int64, extraWrites int, camp Campaign) (TrialResult, Estimate) {
 	prog := b.Program(extraWrites)
 	opts := b.Options()
+	if camp.Model != "" {
+		opts.Model = camp.Model
+	}
 	est := EstimateParams(prog, 20, seed^0x5eed, opts)
 	res := RunCampaign(prog, b.Detect, func() engine.Strategy { return factory(est) }, runs, seed, opts, camp)
 	return res, est

@@ -84,6 +84,11 @@ type Campaign struct {
 	// rendering of each bundle's triage re-run (Bundle.Perfetto), for
 	// visual diffing of divergences in Perfetto. Requires ReproDir.
 	EmbedPerfetto bool
+	// Model, when non-empty, overrides the memory-model backend for
+	// campaigns that build their own engine.Options from a benchmark
+	// registry (BenchTrialsCampaign and friends). Callers that pass
+	// explicit Options set Options.Model directly instead.
+	Model string
 }
 
 // defaultMaxRepros bounds bundle writing + flake triage when the caller

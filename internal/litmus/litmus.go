@@ -23,15 +23,40 @@ type Test struct {
 	Program     *engine.Program
 	// Registers are location names whose final values form the outcome.
 	Registers []string
-	// Allowed is the set of permitted outcomes under the C11Tester model.
-	// When empty, every outcome not listed in Forbidden is allowed.
+	// Allowed is the set of permitted outcomes under the default rc11
+	// (C11Tester) model. When empty, every outcome not listed in
+	// Forbidden is allowed.
 	Allowed []string
-	// Forbidden outcomes must never be observed. Redundant when Allowed
-	// is exhaustive.
+	// Forbidden outcomes must never be observed under rc11. Redundant
+	// when Allowed is exhaustive.
 	Forbidden []string
 	// Weak is the subset of allowed outcomes that only weak memory can
-	// produce; the runner reports whether each was observed.
+	// produce under rc11; the runner reports whether each was observed.
 	Weak []string
+	// PerModel overrides the outcome table for other memory-model
+	// backends ("sc", "tso"). A model with no entry uses the base
+	// Allowed/Forbidden/Weak — correct whenever the model's behaviours
+	// coincide with rc11's on this program.
+	PerModel map[string]Expectation
+}
+
+// Expectation is one memory model's outcome table for a test, with the
+// same semantics as the Test base fields.
+type Expectation struct {
+	Allowed   []string
+	Forbidden []string
+	Weak      []string
+}
+
+// Expect returns the outcome table the given memory model must satisfy
+// ("" means the default rc11 model).
+func (t *Test) Expect(model string) Expectation {
+	if model != "" && model != engine.ModelRC11 {
+		if e, ok := t.PerModel[model]; ok {
+			return e
+		}
+	}
+	return Expectation{Allowed: t.Allowed, Forbidden: t.Forbidden, Weak: t.Weak}
 }
 
 // Outcome renders register values in declaration order: "a=0 b=1".
@@ -86,24 +111,26 @@ func (t *Test) Run(newStrategy func() engine.Strategy, runs int, seed int64) *Re
 }
 
 // RunOpts is Run with explicit engine options — e.g. the legacy baton
-// scheduler for conformance cross-checks. All rounds share one pooled
-// Runner (outcomes are identical to per-round engine.Run by the Runner's
-// determinism guarantee).
+// scheduler for conformance cross-checks, or a non-default Model
+// (outcomes are then classified against that model's expectation
+// table). All rounds share one pooled Runner (outcomes are identical to
+// per-round engine.Run by the Runner's determinism guarantee).
 func (t *Test) RunOpts(newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options) *Report {
 	rep := &Report{Test: t, Runs: runs, Counts: make(map[string]int)}
-	allowed := make(map[string]bool, len(t.Allowed))
-	for _, a := range t.Allowed {
+	exp := t.Expect(opts.Model)
+	allowed := make(map[string]bool, len(exp.Allowed))
+	for _, a := range exp.Allowed {
 		allowed[a] = true
 	}
-	forbidden := make(map[string]bool, len(t.Forbidden))
-	for _, f := range t.Forbidden {
+	forbidden := make(map[string]bool, len(exp.Forbidden))
+	for _, f := range exp.Forbidden {
 		forbidden[f] = true
 	}
 	isIllegal := func(out string) bool {
 		if forbidden[out] {
 			return true
 		}
-		return len(t.Allowed) > 0 && !allowed[out]
+		return len(exp.Allowed) > 0 && !allowed[out]
 	}
 	illegal := make(map[string]bool)
 	r := engine.NewRunner(t.Program, opts)
@@ -125,7 +152,7 @@ func (t *Test) RunOpts(newStrategy func() engine.Strategy, runs int, seed int64,
 			rep.Illegal = append(rep.Illegal, out)
 		}
 	}
-	for _, w := range t.Weak {
+	for _, w := range exp.Weak {
 		if rep.Counts[w] == 0 {
 			rep.Missing = append(rep.Missing, w)
 		}

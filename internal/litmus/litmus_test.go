@@ -7,6 +7,8 @@ import (
 	"pctwm/internal/engine"
 )
 
+func newRandomStrategy() engine.Strategy { return core.NewRandom() }
+
 // TestSuiteRandom explores every litmus test under the C11Tester-style
 // random strategy: forbidden outcomes must never appear and every weak
 // outcome must be witnessed.
@@ -14,7 +16,7 @@ func TestSuiteRandom(t *testing.T) {
 	for _, lt := range Suite() {
 		lt := lt
 		t.Run(lt.Name, func(t *testing.T) {
-			rep := lt.Run(func() engine.Strategy { return core.NewRandom() }, 2000, 1)
+			rep := lt.Run(newRandomStrategy, 2000, 1)
 			if !rep.OK() {
 				t.Fatalf("conformance failure: %s", rep)
 			}

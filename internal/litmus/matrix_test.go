@@ -1,0 +1,134 @@
+package litmus
+
+import (
+	"testing"
+
+	"pctwm/internal/engine"
+	"pctwm/internal/enumerate"
+)
+
+// reachableOutcomes exhaustively enumerates every execution of the test
+// under the given memory model and returns the set of final register
+// outcomes. The litmus programs are tiny and loop-free, so the
+// exploration must complete within the limit.
+func reachableOutcomes(t *testing.T, lt *Test, model string) map[string]bool {
+	t.Helper()
+	counts, res := enumerate.Outcomes(lt.Program, engine.Options{Model: model}, 2_000_000, func(o *engine.Outcome) string {
+		if o.Aborted || o.Deadlocked || o.Abnormal() {
+			return "!abnormal"
+		}
+		return lt.Outcome(o.FinalValues)
+	})
+	if !res.Complete {
+		t.Fatalf("%s/%s: exploration incomplete after %d runs", lt.Name, model, res.Runs)
+	}
+	if counts["!abnormal"] > 0 {
+		t.Fatalf("%s/%s: %d abnormal executions", lt.Name, model, counts["!abnormal"])
+	}
+	set := make(map[string]bool, len(counts))
+	for k := range counts {
+		set[k] = true
+	}
+	return set
+}
+
+// TestCrossModelMatrix is the differential conformance check of the
+// memory-model backends: the classic four-shape matrix (SB, MP, LB,
+// IRIW, all relaxed) must reproduce the textbook allowed/forbidden
+// tables on every model, distinguishing SC from TSO from RC11 by
+// exactly the witness outcomes that separate them.
+func TestCrossModelMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration is slow")
+	}
+	cases := []struct {
+		test    func() *Test
+		witness string
+		// reachable under the model?
+		sc, tso, rc11 bool
+	}{
+		// Store buffering: the weak outcome needs store buffers.
+		{SBRelaxed, "a=0 b=0", false, true, true},
+		// Message passing: TSO's FIFO buffers preserve causality.
+		{MPRelaxed, "a=1 b=0", false, false, true},
+		// Load buffering: forbidden everywhere (no load speculation; the
+		// engine's mo is issue order, so po ∪ rf stays acyclic).
+		{LoadBuffering, "a=1 b=1", false, false, false},
+		// IRIW: disagreeing readers need non-multi-copy atomicity.
+		{IRIWRelaxed, "r1=1 r2=0 r3=1 r4=0", false, false, true},
+	}
+	for _, c := range cases {
+		lt := c.test()
+		t.Run(lt.Name, func(t *testing.T) {
+			perModel := map[string]map[string]bool{}
+			for model, want := range map[string]bool{
+				engine.ModelSC:   c.sc,
+				engine.ModelTSO:  c.tso,
+				engine.ModelRC11: c.rc11,
+			} {
+				got := reachableOutcomes(t, c.test(), model)
+				perModel[model] = got
+				if got[c.witness] != want {
+					t.Errorf("%s under %s: witness %q reachable=%v, textbook says %v",
+						lt.Name, model, c.witness, got[c.witness], want)
+				}
+				// Every reachable outcome must be legal under the model's
+				// expectation table, and every weak outcome reachable.
+				exp := lt.Expect(model)
+				allowed := map[string]bool{}
+				for _, a := range exp.Allowed {
+					allowed[a] = true
+				}
+				for out := range got {
+					if len(exp.Allowed) > 0 && !allowed[out] {
+						t.Errorf("%s under %s: reachable outcome %q not in Allowed", lt.Name, model, out)
+					}
+				}
+				for _, f := range exp.Forbidden {
+					if got[f] {
+						t.Errorf("%s under %s: forbidden outcome %q reachable", lt.Name, model, f)
+					}
+				}
+				for _, w := range exp.Weak {
+					if !got[w] {
+						t.Errorf("%s under %s: weak outcome %q unreachable", lt.Name, model, w)
+					}
+				}
+			}
+			// Model strength: SC ⊆ TSO ⊆ RC11 on these relaxed programs.
+			for out := range perModel[engine.ModelSC] {
+				if !perModel[engine.ModelTSO][out] {
+					t.Errorf("%s: SC outcome %q not reachable under TSO", lt.Name, out)
+				}
+			}
+			for out := range perModel[engine.ModelTSO] {
+				if !perModel[engine.ModelRC11][out] {
+					t.Errorf("%s: TSO outcome %q not reachable under RC11", lt.Name, out)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteAllModels explores the full conformance suite under every
+// backend with the random strategy, classifying against each model's
+// expectation table: nothing illegal, every weak outcome witnessed.
+func TestSuiteAllModels(t *testing.T) {
+	for _, model := range engine.Models() {
+		model := model
+		t.Run(model, func(t *testing.T) {
+			for _, lt := range Suite() {
+				lt := lt
+				t.Run(lt.Name, func(t *testing.T) {
+					rep := lt.RunOpts(newRandomStrategy, 2000, 1, engine.Options{Model: model})
+					if !rep.OK() {
+						t.Fatalf("conformance failure under %s: %s", model, rep)
+					}
+					if rep.Aborted > 0 || rep.Deadlock > 0 {
+						t.Fatalf("aborted=%d deadlocked=%d under %s: %s", rep.Aborted, rep.Deadlock, model, rep)
+					}
+				})
+			}
+		})
+	}
+}

@@ -42,6 +42,15 @@ func SBRelaxed() *Test {
 	t.Description = "store buffering, relaxed: a=0 b=0 allowed"
 	t.Allowed = []string{"a=0 b=0", "a=0 b=1", "a=1 b=0", "a=1 b=1"}
 	t.Weak = []string{"a=0 b=0"}
+	// The textbook differentiator: a=0 b=0 needs store buffers, so SC
+	// forbids it while TSO (the buffers' home) keeps it weak-observable.
+	t.PerModel = map[string]Expectation{
+		engine.ModelSC: {Allowed: []string{"a=0 b=1", "a=1 b=0", "a=1 b=1"}},
+		engine.ModelTSO: {
+			Allowed: []string{"a=0 b=0", "a=0 b=1", "a=1 b=0", "a=1 b=1"},
+			Weak:    []string{"a=0 b=0"},
+		},
+	}
 	return t
 }
 
@@ -106,6 +115,13 @@ func MPRelaxed() *Test {
 	t.Description = "message passing, relaxed: a=1 b=0 allowed"
 	t.Allowed = []string{"a=0 b=0", "a=0 b=1", "a=1 b=0", "a=1 b=1"}
 	t.Weak = []string{"a=1 b=0"}
+	// TSO's FIFO buffers keep message passing intact (seeing the flag
+	// drains the payload first), so the stale read is rc11-only.
+	mpStrong := Expectation{Allowed: []string{"a=0 b=0", "a=0 b=1", "a=1 b=1"}}
+	t.PerModel = map[string]Expectation{
+		engine.ModelSC:  mpStrong,
+		engine.ModelTSO: mpStrong,
+	}
 	return t
 }
 
@@ -223,6 +239,13 @@ func IRIWRelaxed() *Test {
 	t := IRIW("IRIW+rlx", memmodel.Relaxed)
 	t.Description = "IRIW, relaxed: disagreeing readers allowed"
 	t.Weak = []string{"r1=1 r2=0 r3=1 r4=0"}
+	// TSO is multi-copy atomic (a drained store is visible to everyone
+	// at once), so disagreeing readers need rc11's per-thread views.
+	iriwStrong := Expectation{Forbidden: []string{"r1=1 r2=0 r3=1 r4=0"}}
+	t.PerModel = map[string]Expectation{
+		engine.ModelSC:  iriwStrong,
+		engine.ModelTSO: iriwStrong,
+	}
 	return t
 }
 

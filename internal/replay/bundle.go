@@ -13,9 +13,14 @@ import (
 	"pctwm/internal/memmodel"
 )
 
-// BundleVersion is the current repro-bundle format version. Loaders
-// accept only this version; bump it on incompatible changes.
-const BundleVersion = 1
+// BundleVersion is the current repro-bundle format version. Version 2
+// added the top-level memory-model record; loaders accept version 1
+// bundles (written before the engine grew selectable backends) by
+// treating them as rc11. Bump on incompatible changes.
+const BundleVersion = 2
+
+// bundleVersionLegacy is the last pre-model bundle format, still read.
+const bundleVersionLegacy = 1
 
 // OutcomeSummary is the replay-verifiable digest of an engine.Outcome: the
 // schedule-determined counters, the failure signals, and the final state.
@@ -145,11 +150,18 @@ type Bundle struct {
 	// ProgramThreads/ProgramLocs fingerprint the program so a replay
 	// against a same-named but different program is flagged instead of
 	// silently derailing.
-	ProgramThreads int            `json:"program_threads"`
-	ProgramLocs    int            `json:"program_locs"`
-	Strategy       string         `json:"strategy"`
-	Seed           int64          `json:"seed"`
-	Options        engine.Options `json:"options"`
+	ProgramThreads int    `json:"program_threads"`
+	ProgramLocs    int    `json:"program_locs"`
+	Strategy       string `json:"strategy"`
+	Seed           int64  `json:"seed"`
+	// Model is the memory-model backend the trace was recorded under
+	// ("rc11", "sc", "tso"). A decision sequence is only meaningful
+	// against the semantics that produced it — the same schedule read
+	// under another model visits different states — so DecodeBundle
+	// refuses bundles recording a model this build does not implement,
+	// and Verify replays under exactly this model.
+	Model   string         `json:"model"`
+	Options engine.Options `json:"options"`
 	// Trace is the recorded decision sequence of the triage re-run; nil
 	// when the trial panicked before any decision was recorded.
 	Trace *Trace `json:"trace,omitempty"`
@@ -177,6 +189,10 @@ type Bundle struct {
 // NewBundle assembles a bundle for prog. Options are embedded as given
 // (strip Context before calling; it does not serialize).
 func NewBundle(prog *engine.Program, strategy string, seed int64, opts engine.Options) *Bundle {
+	model := opts.Model
+	if model == "" {
+		model = engine.ModelRC11
+	}
 	return &Bundle{
 		Version:        BundleVersion,
 		Program:        prog.Name(),
@@ -184,6 +200,7 @@ func NewBundle(prog *engine.Program, strategy string, seed int64, opts engine.Op
 		ProgramLocs:    prog.NumLocs(),
 		Strategy:       strategy,
 		Seed:           seed,
+		Model:          model,
 		Options:        opts,
 		WrittenAt:      time.Now().UTC(),
 	}
@@ -201,18 +218,37 @@ func (b *Bundle) Encode() ([]byte, error) {
 	return json.MarshalIndent(b, "", "  ")
 }
 
-// DecodeBundle parses and validates a JSON bundle.
+// DecodeBundle parses and validates a JSON bundle. Version-1 bundles
+// (pre-model) are upgraded in place: they were recorded by the rc11-only
+// engine, so their model is rc11 by construction.
 func DecodeBundle(data []byte) (*Bundle, error) {
 	var b Bundle
 	if err := json.Unmarshal(data, &b); err != nil {
 		return nil, fmt.Errorf("replay: decoding bundle: %w", err)
 	}
-	if b.Version != BundleVersion {
-		return nil, fmt.Errorf("replay: bundle version %d, this build reads version %d", b.Version, BundleVersion)
+	switch b.Version {
+	case BundleVersion:
+	case bundleVersionLegacy:
+		if b.Model == "" {
+			b.Model = engine.ModelRC11
+		}
+	default:
+		return nil, fmt.Errorf("replay: bundle version %d, this build reads versions %d and %d",
+			b.Version, bundleVersionLegacy, BundleVersion)
 	}
 	if b.Program == "" {
 		return nil, fmt.Errorf("replay: bundle has no program name")
 	}
+	if b.Model == "" {
+		b.Model = engine.ModelRC11
+	}
+	if !engine.ValidModel(b.Model) {
+		return nil, fmt.Errorf("replay: bundle records memory model %q; this build implements %v — "+
+			"the trace cannot be replayed under different semantics", b.Model, engine.Models())
+	}
+	// The top-level record is authoritative; keep the embedded options
+	// consistent so Verify and ad-hoc engine.Run callers agree.
+	b.Options.Model = b.Model
 	return &b, nil
 }
 
@@ -298,6 +334,9 @@ func (b *Bundle) Verify(prog *engine.Program) (VerifyResult, error) {
 	player := NewPlayer(trace)
 	opts := b.Options
 	opts.Context = nil
+	if b.Model != "" {
+		opts.Model = b.Model
+	}
 	o := engine.Run(prog, player, b.Seed, opts)
 	res := VerifyResult{
 		Outcome: o,

@@ -61,6 +61,11 @@ type Config struct {
 	// -progress); sections additionally mark their name as the metrics
 	// phase so the progress line shows which artifact is being generated.
 	Metrics *telemetry.Metrics
+	// Model selects the memory-model backend for every trial batch
+	// ("" = rc11). The paper's numbers are defined for rc11: benchmarks
+	// whose bugs need weak behaviour report lower (or zero) rates under
+	// sc/tso, which is itself the cross-model sensitivity signal.
+	Model string
 }
 
 // campaign maps the config onto the resilience knobs of one trial batch.
@@ -68,7 +73,7 @@ func (c Config) campaign() harness.Campaign {
 	return harness.Campaign{
 		Workers: c.Workers, Context: c.Context,
 		ReproDir: c.ReproDir, MaxRepros: c.MaxRepros,
-		Metrics: c.Metrics,
+		Metrics: c.Metrics, Model: c.Model,
 	}
 }
 
@@ -129,7 +134,9 @@ func Table1(w io.Writer, cfg Config) error {
 			tw.Flush()
 			return ErrInterrupted
 		}
-		est := harness.EstimateParams(b.Program(0), 50, cfg.Seed, b.Options())
+		opts := b.Options()
+		opts.Model = cfg.Model
+		est := harness.EstimateParams(b.Program(0), 50, cfg.Seed, opts)
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%d\n", b.Name, benchprog.LOC(b.Name), est.K, est.KCom, b.Depth)
 	}
 	return tw.Flush()
@@ -338,14 +345,14 @@ func Coverage(w io.Writer, cfg Config) error {
 		if lt == nil {
 			return fmt.Errorf("report: unknown litmus test %q", name)
 		}
-		full, res := enumerate.Outcomes(lt.Program, engine.Options{}, 500000, func(o *engine.Outcome) string {
+		full, res := enumerate.Outcomes(lt.Program, engine.Options{Model: cfg.Model}, 500000, func(o *engine.Outcome) string {
 			return lt.Outcome(o.FinalValues)
 		})
 		total := fmt.Sprintf("%d", len(full))
 		if !res.Complete {
 			total += "+"
 		}
-		est := harness.EstimateParams(lt.Program, 10, cfg.Seed, engine.Options{})
+		est := harness.EstimateParams(lt.Program, 10, cfg.Seed, engine.Options{Model: cfg.Model})
 		row := []string{}
 		for _, factory := range []harness.StrategyFactory{
 			harness.C11Tester(), harness.POSFactory(),
@@ -353,7 +360,7 @@ func Coverage(w io.Writer, cfg Config) error {
 		} {
 			seen := map[string]bool{}
 			for i := 0; i < cfg.Runs; i++ {
-				o := engine.Run(lt.Program, factory(est), cfg.Seed+int64(i), engine.Options{})
+				o := engine.Run(lt.Program, factory(est), cfg.Seed+int64(i), engine.Options{Model: cfg.Model})
 				seen[lt.Outcome(o.FinalValues)] = true
 			}
 			row = append(row, fmt.Sprintf("%d", len(seen)))

@@ -142,6 +142,10 @@ const maxChangePointLog = 256
 //
 // An EngineCounters must not be shared by Runners that run concurrently.
 type EngineCounters struct {
+	// Model tags the counters with the memory-model backend that produced
+	// them ("rc11", "sc", "tso"). The engine stamps it on first use; Merge
+	// keeps the first non-empty tag (campaigns run one model at a time).
+	Model string
 	// Trials counts completed engine runs.
 	Trials uint64
 	// Ops counts executed events by [kind][order] (dense matrix; index
@@ -164,6 +168,9 @@ type EngineCounters struct {
 	ChangePointDepth Hist
 	// RaceChecks counts vector-clock race-detector access checks.
 	RaceChecks uint64
+	// Drains counts buffered stores flushed to shared memory by the tso
+	// backend (always zero under rc11/sc, which have no store buffers).
+	Drains uint64
 	// AxiomRecheckNs is the cumulative wall time (ns) spent re-checking
 	// recorded executions against the C11 axioms (tools and tests call
 	// AddAxiomRecheck around axiom.Graph.Check).
@@ -206,6 +213,9 @@ func (c *EngineCounters) AddAxiomRecheck(ns int64) {
 // over the numeric fields, so campaign totals are bit-identical between
 // serial and parallel runs over the same seed set.
 func (c *EngineCounters) Merge(o *EngineCounters) {
+	if c.Model == "" {
+		c.Model = o.Model
+	}
 	c.Trials += o.Trials
 	for k := range c.Ops {
 		for ord := range c.Ops[k] {
@@ -217,6 +227,7 @@ func (c *EngineCounters) Merge(o *EngineCounters) {
 	c.RFCandidates.Merge(&o.RFCandidates)
 	c.ChangePointDepth.Merge(&o.ChangePointDepth)
 	c.RaceChecks += o.RaceChecks
+	c.Drains += o.Drains
 	c.AxiomRecheckNs += o.AxiomRecheckNs
 }
 
@@ -236,6 +247,7 @@ func (c *EngineCounters) Events() uint64 {
 // keyed "kind/order" (e.g. "R/rlx") with zero cells omitted;
 // encoding/json sorts map keys, so the encoding is deterministic.
 type EngineSummary struct {
+	Model            string            `json:"model,omitempty"`
 	Trials           uint64            `json:"trials"`
 	Events           uint64            `json:"events"`
 	Ops              map[string]uint64 `json:"ops,omitempty"`
@@ -244,6 +256,7 @@ type EngineSummary struct {
 	RFCandidates     HistSummary       `json:"rf_candidates"`
 	ChangePointDepth HistSummary       `json:"change_point_depth"`
 	RaceChecks       uint64            `json:"race_checks"`
+	Drains           uint64            `json:"drains,omitempty"`
 	AxiomRecheckNs   uint64            `json:"axiom_recheck_ns"`
 }
 
@@ -251,6 +264,7 @@ type EngineSummary struct {
 // a per-Runner diagnostic, not an aggregate).
 func (c *EngineCounters) Summary() EngineSummary {
 	s := EngineSummary{
+		Model:            c.Model,
 		Trials:           c.Trials,
 		Events:           c.Events(),
 		Handoffs:         c.Handoffs,
@@ -258,6 +272,7 @@ func (c *EngineCounters) Summary() EngineSummary {
 		RFCandidates:     c.RFCandidates.Summary(),
 		ChangePointDepth: c.ChangePointDepth.Summary(),
 		RaceChecks:       c.RaceChecks,
+		Drains:           c.Drains,
 		AxiomRecheckNs:   c.AxiomRecheckNs,
 	}
 	for k := range c.Ops {
