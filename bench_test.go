@@ -2,12 +2,16 @@ package pctwm
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	"pctwm/internal/benchprog"
 	"pctwm/internal/core"
 	"pctwm/internal/engine"
+	"pctwm/internal/enumerate"
 	"pctwm/internal/harness"
+	"pctwm/internal/litmus"
+	"pctwm/internal/memmodel"
 	"pctwm/internal/report"
 )
 
@@ -145,6 +149,109 @@ func BenchmarkRunnerReuse(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Run(core.NewPCTWM(2, 1, est.KCom), int64(i))
+	}
+}
+
+// Exhaustive-exploration throughput. One iteration enumerates the full
+// reachable outcome space of the litmus suite — the workload behind the
+// conformance tests and the CI models job. The serial/parallel pair is
+// what `pctwm-bench -explore` snapshots into BENCH_engine.json.
+
+func exploreSuite(b *testing.B, workers int) {
+	targets := litmus.Suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, lt := range targets {
+			_, res := enumerate.Outcomes(lt.Program, engine.Options{},
+				enumerate.Config{Limit: 2_000_000, Workers: workers}, func(o *engine.Outcome) string {
+					return lt.Outcome(o.FinalValues)
+				})
+			if res.Drift != nil {
+				b.Fatal(res.Drift)
+			}
+			total += res.Runs
+		}
+		if i == 0 {
+			b.ReportMetric(float64(total), "executions")
+		}
+	}
+}
+
+// BenchmarkExploreSuiteSerial: the pooled serial DFS (one Runner reused
+// across every leaf).
+func BenchmarkExploreSuiteSerial(b *testing.B) { exploreSuite(b, 1) }
+
+// BenchmarkExploreSuiteParallel: subtree-sharded exploration on
+// GOMAXPROCS workers; the counted executions are identical to serial.
+func BenchmarkExploreSuiteParallel(b *testing.B) { exploreSuite(b, 0) }
+
+// oneShotScript replicates the pre-pooling explorer's scripted strategy:
+// follow a fixed decision prefix, take alternative 0 beyond it, record
+// arities. Kept here so the retired one-shot exploration stays
+// measurable as a baseline.
+type oneShotScript struct {
+	script []int
+	pos    int
+	arity  []int
+}
+
+func (s *oneShotScript) Name() string                         { return "oneshot-enumerate" }
+func (s *oneShotScript) Begin(engine.ProgramInfo, *rand.Rand) {}
+func (s *oneShotScript) OnEvent(*memmodel.Event)              {}
+func (s *oneShotScript) OnThreadStart(_, _ memmodel.ThreadID) {}
+func (s *oneShotScript) OnSpin(memmodel.ThreadID)             {}
+
+func (s *oneShotScript) decide(n int) int {
+	s.arity = append(s.arity, n)
+	choice := 0
+	if s.pos < len(s.script) {
+		choice = s.script[s.pos]
+	}
+	s.pos++
+	if choice >= n {
+		choice = n - 1
+	}
+	return choice
+}
+
+func (s *oneShotScript) NextThread(enabled []engine.PendingOp) memmodel.ThreadID {
+	return enabled[s.decide(len(enabled))].TID
+}
+
+func (s *oneShotScript) PickRead(rc engine.ReadContext) int {
+	return s.decide(len(rc.Candidates))
+}
+
+// BenchmarkExploreSuiteOneShot emulates the pre-pooling explorer — a
+// fresh engine.Run (fresh Runner, arenas, location tables) per leaf,
+// with the same backtracking walk — so the pooling win stays measurable
+// after the old path's removal.
+func BenchmarkExploreSuiteOneShot(b *testing.B) {
+	targets := litmus.Suite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, lt := range targets {
+			runs := 0
+			script := []int{}
+			for runs < 2_000_000 {
+				s := &oneShotScript{script: script}
+				engine.Run(lt.Program, s, 0, engine.Options{})
+				runs++
+				next := make([]int, len(s.arity))
+				copy(next, script)
+				j := len(s.arity) - 1
+				for j >= 0 && next[j]+1 >= s.arity[j] {
+					j--
+				}
+				if j < 0 {
+					break
+				}
+				script = append(next[:j:j], next[j]+1)
+			}
+		}
 	}
 }
 

@@ -7,7 +7,8 @@
 //	pctwm-bench [-runs N] [-s SEED] [-workers N] [-d D] [-y H] [-bench a,b]
 //	            [-repro-dir DIR [-max-repros N]]
 //	            [-metrics-addr ADDR] [-pprof-addr ADDR] [-progress] [-telemetry]
-//	            [-json] [-compare FILE [-max-regress PCT]] [-engine.baton]
+//	            [-json] [-compare FILE [-max-regress PCT] [-max-allocs-regress PCT]]
+//	            [-explore] [-engine.baton]
 //
 // -workers spreads each cell's rounds over N worker goroutines (0 =
 // GOMAXPROCS, 1 = serial; results are identical for every worker count).
@@ -26,8 +27,11 @@
 // allocs/run) per benchmark × strategy on stdout — the format committed
 // as BENCH_engine.json. -compare measures the same snapshot and diffs it
 // benchstat-style against a committed baseline, exiting 1 when any
-// cell's ns_per_event regressed by more than -max-regress percent — the
-// CI bench gate. -engine.baton runs everything on the legacy baton
+// cell's ns_per_event regressed by more than -max-regress percent or its
+// allocs_per_run by more than -max-allocs-regress percent — the CI bench
+// gate. -explore adds exhaustive-exploration throughput cells (the full
+// litmus suite enumerated serially and on 8 workers) to -json/-compare
+// measurements. -engine.baton runs everything on the legacy baton
 // scheduler (escape hatch; same schedules, slower).
 //
 // SIGINT/SIGTERM interrupt the run gracefully: in-flight trials are
@@ -52,6 +56,7 @@ import (
 	"pctwm/internal/core"
 	"pctwm/internal/engine"
 	"pctwm/internal/harness"
+	"pctwm/internal/litmus"
 	"pctwm/internal/telemetry"
 )
 
@@ -66,6 +71,8 @@ func main() {
 		benchSel    = flag.String("bench", "", "comma-separated benchmark names (default: all)")
 		compare     = flag.String("compare", "", "baseline snapshot JSON to diff the fresh measurement against (benchstat-style)")
 		maxRegress  = flag.Float64("max-regress", 15, "with -compare: fail when ns_per_event regresses by more than this percent")
+		maxAllocs   = flag.Float64("max-allocs-regress", 25, "with -compare: fail when allocs_per_run regresses by more than this percent (plus absolute slack)")
+		exploreFlag = flag.Bool("explore", false, "with -json/-compare: add exhaustive-exploration throughput cells over the litmus suite (serial and workers-8)")
 		baton       = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
 		reproDir    = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
 		maxRepros   = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per benchmark × strategy cell")
@@ -146,13 +153,17 @@ func main() {
 		}
 	}
 
+	var exploreOpts *engine.Options
+	if *exploreFlag {
+		exploreOpts = &engine.Options{Baton: *baton, Model: *model}
+	}
 	if *compare != "" {
-		code := runCompare(ctx, benches, dFor, optsFor, *runs, *seed, *history, *compare, *maxRegress, *telFlag)
+		code := runCompare(ctx, benches, dFor, optsFor, *runs, *seed, *history, *compare, *maxRegress, *maxAllocs, *telFlag, exploreOpts)
 		stopProgress()
 		os.Exit(code)
 	}
 	if *jsonOut {
-		code := emitSnapshot(ctx, os.Stdout, benches, dFor, optsFor, *runs, *seed, *history, *telFlag)
+		code := emitSnapshot(ctx, os.Stdout, benches, dFor, optsFor, *runs, *seed, *history, *telFlag, exploreOpts)
 		stopProgress()
 		os.Exit(code)
 	}
@@ -282,7 +293,8 @@ const snapshotSweeps = 3
 // The context is checked between cells: on cancellation the cells fully
 // measured so far are returned with partial=true.
 func measureSnapshot(ctx context.Context, benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
-	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int, collect bool) (snaps []harness.EngineSnapshot, partial bool) {
+	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int, collect bool,
+	exploreOpts *engine.Options) (snaps []harness.EngineSnapshot, partial bool) {
 	type cell struct {
 		prog *engine.Program
 		opts engine.Options
@@ -324,7 +336,41 @@ func measureSnapshot(ctx context.Context, benches []*benchprog.Benchmark, dFor f
 			}
 		}
 	}
+	if exploreOpts != nil {
+		targets := litmusExploreTargets()
+		for _, w := range exploreWorkerCounts {
+			if ctx.Err() != nil {
+				return snaps, true
+			}
+			snaps = append(snaps, harness.MeasureExplore(exploreCellName, targets, exploreLimit, w, *exploreOpts))
+		}
+	}
 	return snaps, false
+}
+
+// Explore-throughput cell parameters: the cell exhausts the full litmus
+// suite (the workload of the CI models job and the conformance tests),
+// once serially and once on 8 workers, so the snapshot gates both the
+// pooled per-leaf cost and the parallel sharding overhead.
+const (
+	exploreCellName = "explore-litmus"
+	exploreLimit    = 2_000_000
+)
+
+var exploreWorkerCounts = []int{1, 8}
+
+// litmusExploreTargets adapts the litmus suite to harness.ExploreTarget.
+func litmusExploreTargets() []harness.ExploreTarget {
+	var targets []harness.ExploreTarget
+	for _, lt := range litmus.Suite() {
+		lt := lt
+		targets = append(targets, harness.ExploreTarget{
+			Name: lt.Name,
+			Prog: lt.Program,
+			Key:  func(o *engine.Outcome) string { return lt.Outcome(o.FinalValues) },
+		})
+	}
+	return targets
 }
 
 // partialSnapshot is the -json output format when the measurement was
@@ -341,8 +387,9 @@ type partialSnapshot struct {
 // partial-marked wrapper when interrupted — and returns the exit status
 // (nonzero on interruption).
 func emitSnapshot(ctx context.Context, w *os.File, benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
-	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int, collect bool) int {
-	snaps, partial := measureSnapshot(ctx, benches, dFor, optsFor, runs, seed, history, collect)
+	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int, collect bool,
+	exploreOpts *engine.Options) int {
+	snaps, partial := measureSnapshot(ctx, benches, dFor, optsFor, runs, seed, history, collect, exploreOpts)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	var payload any = snaps
@@ -379,10 +426,12 @@ func decodeSnapshots(data []byte) ([]harness.EngineSnapshot, error) {
 // runCompare measures a fresh snapshot of the selected benchmarks, diffs
 // it against the committed baseline and prints a benchstat-style table.
 // The returned exit code is 1 when any compared cell's ns_per_event
-// regressed by more than maxRegress percent.
+// regressed by more than maxRegress percent or its allocs_per_run by
+// more than maxAllocs percent (beyond the absolute slack — see
+// harness.SnapshotDelta.AllocsRegressed).
 func runCompare(ctx context.Context, benches []*benchprog.Benchmark, dFor func(*benchprog.Benchmark) int,
 	optsFor func(*benchprog.Benchmark) engine.Options, runs int, seed int64, history int,
-	baselinePath string, maxRegress float64, collect bool) int {
+	baselinePath string, maxRegress, maxAllocs float64, collect bool, exploreOpts *engine.Options) int {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pctwm-bench: %v\n", err)
@@ -401,6 +450,9 @@ func runCompare(ctx context.Context, benches []*benchprog.Benchmark, dFor func(*
 	for _, b := range benches {
 		selected[b.Name] = true
 	}
+	if exploreOpts != nil {
+		selected[exploreCellName] = true
+	}
 	kept := baseline[:0]
 	for _, s := range baseline {
 		if selected[s.Benchmark] {
@@ -408,7 +460,7 @@ func runCompare(ctx context.Context, benches []*benchprog.Benchmark, dFor func(*
 		}
 	}
 
-	fresh, partial := measureSnapshot(ctx, benches, dFor, optsFor, runs, seed, history, collect)
+	fresh, partial := measureSnapshot(ctx, benches, dFor, optsFor, runs, seed, history, collect, exploreOpts)
 	if partial {
 		fmt.Fprintf(os.Stderr, "pctwm-bench: interrupted mid-measurement; comparison not judged\n")
 		return 2
@@ -421,22 +473,27 @@ func runCompare(ctx context.Context, benches []*benchprog.Benchmark, dFor func(*
 
 	failed := 0
 	tw := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "benchmark\tstrategy\told ns/event\tnew ns/event\tdelta")
+	fmt.Fprintln(tw, "benchmark\tstrategy\told ns/event\tnew ns/event\tdelta\told allocs\tnew allocs\tallocs delta")
 	for _, d := range deltas {
 		mark := ""
 		if d.Regressed(maxRegress) {
 			mark = "  REGRESSION"
 			failed++
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\t%+.1f%%%s\n",
-			d.Benchmark, d.Strategy, d.OldNsPerEvent, d.NewNsPerEvent, d.DeltaPercent, mark)
+		if d.AllocsRegressed(maxAllocs) {
+			mark += "  ALLOCS-REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.1f\t%.1f\t%+.1f%%\t%.1f\t%.1f\t%+.1f%%%s\n",
+			d.Benchmark, d.Strategy, d.OldNsPerEvent, d.NewNsPerEvent, d.DeltaPercent,
+			d.OldAllocsPerRun, d.NewAllocsPerRun, d.AllocsDeltaPercent, mark)
 	}
 	tw.Flush()
 	if failed > 0 {
-		fmt.Printf("FAIL: %d of %d cells regressed ns_per_event by more than %.0f%% vs %s\n",
-			failed, len(deltas), maxRegress, baselinePath)
+		fmt.Printf("FAIL: %d regression(s) over %d cells (gates: ns_per_event %.0f%%, allocs_per_run %.0f%%) vs %s\n",
+			failed, len(deltas), maxRegress, maxAllocs, baselinePath)
 		return 1
 	}
-	fmt.Printf("ok: %d cells within %.0f%% of %s\n", len(deltas), maxRegress, baselinePath)
+	fmt.Printf("ok: %d cells within %.0f%% ns/event and %.0f%% allocs of %s\n", len(deltas), maxRegress, maxAllocs, baselinePath)
 	return 0
 }

@@ -8,6 +8,12 @@
 //	pctwm-explore -t SB+rlx       # one test
 //	pctwm-explore -limit 100000   # cap the exploration
 //	pctwm-explore -engine.model tso   # exhaust the x86-TSO state space
+//	pctwm-explore -workers 8      # shard subtrees across 8 workers
+//
+// Exploration shards disjoint decision-tree subtrees across -workers
+// pooled engine runners (0 = GOMAXPROCS); outcome counts are merged
+// deterministically, so the histogram is bit-identical at any worker
+// count.
 //
 // With -engine.model the enumeration runs against that backend and the
 // outcomes classify against the model's expectation table — the scripted
@@ -24,15 +30,19 @@ import (
 	"pctwm/internal/engine"
 	"pctwm/internal/enumerate"
 	"pctwm/internal/litmus"
+	"pctwm/internal/telemetry"
 )
 
 func main() {
 	var (
-		test  = flag.String("t", "", "litmus test name (empty = all)")
-		limit = flag.Int("limit", 2000000, "maximum executions to explore per test")
-		baton = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
-		model = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso")
+		test    = flag.String("t", "", "litmus test name (empty = all)")
+		limit   = flag.Int("limit", 2000000, "maximum executions to explore per test")
+		baton   = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
+		model   = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso")
+		workers = flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS, 1 = serial; results identical)")
+		stats   = flag.Bool("stats", false, "print explorer telemetry (runs/steals/pruned) per test")
 	)
+	flag.IntVar(workers, "explore.workers", 0, "alias for -workers")
 	flag.Parse()
 	if !engine.ValidModel(*model) {
 		fmt.Fprintf(os.Stderr, "pctwm-explore: unknown memory model %q (have %v)\n", *model, engine.Models())
@@ -62,11 +72,25 @@ func main() {
 
 	failures := 0
 	for _, lt := range suite {
-		counts, res := enumerate.Outcomes(lt.Program, engine.Options{Baton: *baton, Model: *model}, *limit, func(o *engine.Outcome) string {
-			return lt.Outcome(o.FinalValues)
-		})
+		var tel telemetry.EngineCounters
+		opts := engine.Options{Baton: *baton, Model: *model}
+		if *stats {
+			opts.Telemetry = &tel
+		}
+		counts, res := enumerate.Outcomes(lt.Program, opts,
+			enumerate.Config{Limit: *limit, Workers: *workers}, func(o *engine.Outcome) string {
+				return lt.Outcome(o.FinalValues)
+			})
+		if res.Drift != nil {
+			fmt.Fprintf(os.Stderr, "pctwm-explore: %s: %v\n", lt.Name, res.Drift)
+			os.Exit(1)
+		}
 		fmt.Printf("%s (%s) [model %s]\n", lt.Name, lt.Description, *model)
 		fmt.Printf("  %d executions, complete=%v\n", res.Runs, res.Complete)
+		if *stats {
+			fmt.Printf("  explorer: %d engine runs, %d steals, %d pruned subtrees\n",
+				tel.ExploreRuns, tel.ExploreSteals, tel.ExplorePruned)
+		}
 		keys := make([]string, 0, len(counts))
 		for k := range counts {
 			keys = append(keys, k)

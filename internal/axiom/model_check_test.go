@@ -19,31 +19,42 @@ func TestCheckModelAcceptsOwnExecutions(t *testing.T) {
 		t.Run(model, func(t *testing.T) {
 			for _, lt := range litmus.Suite() {
 				opts := engine.Options{Model: model, Record: true}
+				r := engine.NewRunner(lt.Program, opts)
+				strat := core.NewRandom()
 				for seed := int64(0); seed < 30; seed++ {
-					o := engine.Run(lt.Program, core.NewRandom(), seed, opts)
+					o := r.Run(strat, seed)
 					g, err := axiom.FromRecording(o.Recording)
 					if err != nil {
+						r.Close()
 						t.Fatalf("%s seed %d: %v", lt.Name, seed, err)
 					}
 					if vs := g.CheckModel(model); len(vs) > 0 {
+						r.Close()
 						t.Fatalf("%s seed %d under %s: %v", lt.Name, seed, model, vs)
 					}
 				}
+				r.Close()
 			}
 		})
 	}
 }
 
 // weakRecording exhaustively explores the test under rc11 and returns
-// the recording of the first execution producing the given outcome.
+// the recording of the first execution producing the given outcome. The
+// search runs on the pooled explorer and stops at the first witness.
 func weakRecording(t *testing.T, lt *litmus.Test, outcome string) *engine.Recording {
 	t.Helper()
 	var rec *engine.Recording
-	enumerate.Explore(lt.Program, engine.Options{Record: true}, 500_000, func(o *engine.Outcome) {
-		if rec == nil && lt.Outcome(o.FinalValues) == outcome {
+	res := enumerate.ExploreUntil(lt.Program, engine.Options{Record: true}, 500_000, func(o *engine.Outcome) bool {
+		if lt.Outcome(o.FinalValues) == outcome {
 			rec = o.Recording
+			return false
 		}
+		return true
 	})
+	if res.Drift != nil {
+		t.Fatalf("%s: %v", lt.Name, res.Drift)
+	}
 	if rec == nil {
 		t.Fatalf("%s: outcome %q not reachable under rc11", lt.Name, outcome)
 	}

@@ -1,6 +1,7 @@
 package enumerate
 
 import (
+	"flag"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,11 @@ import (
 	"pctwm/internal/litmus"
 	"pctwm/internal/memmodel"
 )
+
+// exploreWorkers sets the worker count for this package's exhaustive
+// explorations (0 = GOMAXPROCS). Results are bit-identical at any value
+// (TestParallelMatchesSerial pins that).
+var exploreWorkers = flag.Int("explore.workers", 0, "exhaustive-exploration workers (0 = GOMAXPROCS)")
 
 // TestExploreCountsTinyProgram: a single thread with one two-candidate
 // read has exactly two executions.
@@ -43,9 +49,12 @@ func TestLitmusOutcomeSetsExact(t *testing.T) {
 	for _, lt := range litmus.Suite() {
 		lt := lt
 		t.Run(lt.Name, func(t *testing.T) {
-			counts, res := Outcomes(lt.Program, engine.Options{}, 2_000_000, func(o *engine.Outcome) string {
+			counts, res := Outcomes(lt.Program, engine.Options{}, Config{Limit: 2_000_000, Workers: *exploreWorkers}, func(o *engine.Outcome) string {
 				return lt.Outcome(o.FinalValues)
 			})
+			if res.Drift != nil {
+				t.Fatal(res.Drift)
+			}
 			if !res.Complete {
 				t.Skipf("state space too large (%d runs)", res.Runs)
 			}
@@ -108,7 +117,7 @@ func TestOutcomesHelper(t *testing.T) {
 	p := engine.NewProgram("h")
 	x := p.Loc("X", 0)
 	p.AddThread(func(th *engine.Thread) { th.Store(x, 1, memmodel.Relaxed) })
-	counts, res := Outcomes(p, engine.Options{}, 0, func(o *engine.Outcome) string {
+	counts, res := Outcomes(p, engine.Options{}, Config{}, func(o *engine.Outcome) string {
 		return fmt.Sprintf("X=%d", o.FinalValues["X"])
 	})
 	if !res.Complete || counts["X=1"] != res.Runs {

@@ -1,0 +1,421 @@
+// Parallel exhaustive exploration: the decision tree is expanded
+// serially to a shallow frontier, the disjoint subtrees below the
+// frontier are sharded across a work-stealing worker pool (each worker
+// owns one pooled engine.Runner), and per-subtree outcome counts are
+// merged in lexicographic frontier order so the final counts and Result
+// are bit-identical to a serial exploration — including where a run
+// limit truncates the tree.
+//
+// Determinism argument. The frontier units partition the leaf set, and
+// their order is the depth-first script order, so concatenating the
+// per-unit leaf sequences reproduces the serial visit sequence exactly.
+// Outcome counting is commutative within a unit and the merge walks
+// units in order, so an unlimited exploration trivially matches serial.
+// With a limit L, the serial explorer visits exactly the first L leaves;
+// the merge reproduces that cut by accumulating unit run counts in
+// order and re-descending the one boundary subtree that straddles leaf
+// L with exactly the remaining budget (the subtree's leaves enumerate
+// in the same depth-first order, so "its first k leaves" is
+// well-defined and worker-count independent). Units past the cut are
+// discarded; a stop flag lets their workers quit early, which changes
+// only how much discarded work was performed (telemetry), never the
+// merged result.
+package enumerate
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"pctwm/internal/engine"
+	"pctwm/internal/telemetry"
+)
+
+const (
+	// shardFactor sets how many frontier subtrees the expansion aims for
+	// per worker. More shards mean better load balance (subtree sizes are
+	// wildly skewed) at the cost of a longer serial expansion phase.
+	shardFactor = 8
+	// maxFrontierDepth bounds the expansion depth, guarding against
+	// degenerate trees (long arity-1 chains) that would otherwise expand
+	// forever without producing new shards.
+	maxFrontierDepth = 64
+)
+
+// unit is one shard of the decision tree in frontier order: either a
+// single leaf already explored during expansion, or an unexplored
+// subtree rooted at prefix.
+type unit struct {
+	prefix []int
+	// want holds the recorded arity at each prefix position (drift
+	// detection on re-descent).
+	want []int
+	leaf bool
+	// Discovery-run classification, valid for leaf units only.
+	key       string
+	truncated bool
+}
+
+// expNode is a frontier node during expansion. tail holds the discovery
+// run's recorded arities below prefix (its all-zeros descent); an empty
+// tail means the run ended exactly at prefix — the node is a leaf.
+type expNode struct {
+	prefix    []int
+	want      []int
+	tail      []int
+	key       string
+	truncated bool
+}
+
+func appendCopy(s []int, v int) []int {
+	out := make([]int, len(s)+1)
+	copy(out, s)
+	out[len(s)] = v
+	return out
+}
+
+// expandFrontier grows the frontier level by level until it holds at
+// least target units, the tree is fully expanded, or the depth budget
+// runs out. Each internal node's 0-child inherits the parent's
+// discovery run (the run that revealed the node already recorded the
+// arities of the whole all-zeros descent below it), so expansion costs
+// one engine run per non-zero child only — the trie of recorded
+// arities is what lets re-descents skip already-known structure.
+func expandFrontier(r *engine.Runner, target int, keyFn func(*engine.Outcome) string,
+	tel *telemetry.EngineCounters) ([]unit, *DriftError) {
+	probe := func(prefix, want []int) (*expNode, *DriftError) {
+		s := &scripted{script: prefix, want: want}
+		o := r.Run(s, 0)
+		if tel != nil {
+			tel.ExploreRuns++
+		}
+		if s.drift == nil && len(s.arity) < len(prefix) {
+			w := 0
+			if len(s.arity) < len(want) {
+				w = want[len(s.arity)]
+			}
+			s.drift = &DriftError{Index: len(s.arity), Want: w, Prefix: append([]int(nil), prefix...)}
+		}
+		if s.drift != nil {
+			return nil, s.drift
+		}
+		return &expNode{
+			prefix:    prefix,
+			want:      want,
+			tail:      append([]int(nil), s.arity[len(prefix):]...),
+			key:       keyFn(o),
+			truncated: o.Aborted,
+		}, nil
+	}
+
+	root, derr := probe(nil, nil)
+	if derr != nil {
+		return nil, derr
+	}
+	level := []*expNode{root}
+	for depth := 0; depth < maxFrontierDepth && len(level) < target; depth++ {
+		internal := 0
+		for _, n := range level {
+			if len(n.tail) > 0 {
+				internal++
+			}
+		}
+		if internal == 0 {
+			break
+		}
+		next := make([]*expNode, 0, 2*len(level))
+		for _, n := range level {
+			if len(n.tail) == 0 {
+				next = append(next, n)
+				continue
+			}
+			arity := n.tail[0]
+			// Child 0 is the continuation of the discovery run.
+			next = append(next, &expNode{
+				prefix:    appendCopy(n.prefix, 0),
+				want:      appendCopy(n.want, arity),
+				tail:      n.tail[1:],
+				key:       n.key,
+				truncated: n.truncated,
+			})
+			for c := 1; c < arity; c++ {
+				child, derr := probe(appendCopy(n.prefix, c), appendCopy(n.want, arity))
+				if derr != nil {
+					return nil, derr
+				}
+				next = append(next, child)
+			}
+		}
+		level = next
+	}
+	units := make([]unit, len(level))
+	for i, n := range level {
+		units[i] = unit{
+			prefix:    n.prefix,
+			want:      n.want,
+			leaf:      len(n.tail) == 0,
+			key:       n.key,
+			truncated: n.truncated,
+		}
+	}
+	return units, nil
+}
+
+// stealQueues distributes unit indices over per-worker FIFO queues. A
+// worker pops its own queue from the front; when empty it steals from
+// the back of the longest other queue, keeping stolen subtrees as far
+// as possible from the victim's current position.
+type stealQueues struct {
+	mu sync.Mutex
+	qs [][]int
+}
+
+func newStealQueues(indices []int, workers int) *stealQueues {
+	sq := &stealQueues{qs: make([][]int, workers)}
+	for j, idx := range indices {
+		w := j % workers
+		sq.qs[w] = append(sq.qs[w], idx)
+	}
+	return sq
+}
+
+func (q *stealQueues) pop(w int) (idx int, stole, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if own := q.qs[w]; len(own) > 0 {
+		idx = own[0]
+		q.qs[w] = own[1:]
+		return idx, false, true
+	}
+	victim, best := -1, 0
+	for v := range q.qs {
+		if l := len(q.qs[v]); l > best {
+			victim, best = v, l
+		}
+	}
+	if victim < 0 {
+		return 0, false, false
+	}
+	last := len(q.qs[victim]) - 1
+	idx = q.qs[victim][last]
+	q.qs[victim] = q.qs[victim][:last]
+	return idx, true, true
+}
+
+// explorePool coordinates the workers: per-unit results in frontier
+// order, a coverage monitor that raises the stop flag once the ordered
+// prefix of finalized units covers the run limit, and a drift flag that
+// aborts everything.
+type explorePool struct {
+	units   []unit
+	results []*subtreeResult
+	counts  []map[string]int
+	limit   int
+	mu      sync.Mutex
+	stop    atomic.Bool
+}
+
+func (e *explorePool) stopped() bool { return e.stop.Load() }
+
+// finish records a unit's exploration result and re-evaluates coverage.
+func (e *explorePool) finish(i int, r *subtreeResult, m map[string]int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.results[i] = r
+	e.counts[i] = m
+	if r.drift != nil {
+		e.stop.Store(true)
+		return
+	}
+	e.updateCoverage()
+}
+
+// updateCoverage raises the stop flag when the contiguous prefix of
+// finalized units already accounts for limit executions: everything
+// after the covering point will be discarded by the merge, so workers
+// still exploring it may quit. Called with mu held.
+func (e *explorePool) updateCoverage() {
+	if e.limit <= 0 {
+		return
+	}
+	covered := 0
+	for i := range e.units {
+		r := e.results[i]
+		if r == nil || r.stopped {
+			return
+		}
+		covered += r.runs
+		if covered >= e.limit {
+			e.stop.Store(true)
+			return
+		}
+	}
+}
+
+// parallelOutcomes is the Workers != 1 path of Outcomes.
+func parallelOutcomes(p *engine.Program, opts engine.Options, cfg Config, key func(*engine.Outcome) string) (map[string]int, Result) {
+	workers := resolveWorkers(cfg.Workers)
+
+	// The caller's telemetry must not be written concurrently: strip it,
+	// give the coordinator and every worker their own shard, and merge
+	// after the pool drains (the RunCampaign contract).
+	base := opts.Telemetry
+	workerOpts := opts
+	workerOpts.Telemetry = nil
+	coordOpts := opts
+	var coordTel *telemetry.EngineCounters
+	if base != nil {
+		coordTel = &telemetry.EngineCounters{}
+		coordOpts.Telemetry = coordTel
+	}
+	var shards []*telemetry.EngineCounters
+	mergeTel := func() {
+		if base == nil {
+			return
+		}
+		for _, s := range shards {
+			if s != nil {
+				base.Merge(s)
+			}
+		}
+		base.Merge(coordTel)
+	}
+
+	// Phase 1: serial frontier expansion on the coordinator's Runner.
+	rc := engine.NewRunner(p, coordOpts)
+	defer rc.Close()
+	units, derr := expandFrontier(rc, workers*shardFactor, key, coordTel)
+	if derr != nil {
+		mergeTel()
+		return nil, Result{Drift: derr}
+	}
+
+	pool := &explorePool{
+		units:   units,
+		results: make([]*subtreeResult, len(units)),
+		counts:  make([]map[string]int, len(units)),
+		limit:   cfg.Limit,
+	}
+	var subtrees []int
+	for i, u := range units {
+		if u.leaf {
+			r := &subtreeResult{runs: 1, complete: true}
+			if u.truncated {
+				r.truncated = 1
+			}
+			pool.results[i] = r
+			pool.counts[i] = map[string]int{u.key: 1}
+		} else {
+			subtrees = append(subtrees, i)
+		}
+	}
+
+	// Phase 2: work-stealing pool over the subtree shards.
+	if nw := min(workers, len(subtrees)); nw > 0 {
+		pool.mu.Lock()
+		pool.updateCoverage() // the leaf prefix alone may cover the limit
+		pool.mu.Unlock()
+		sq := newStealQueues(subtrees, nw)
+		if base != nil {
+			shards = make([]*telemetry.EngineCounters, nw)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				wopts := workerOpts
+				var shard *telemetry.EngineCounters
+				if base != nil {
+					shard = &telemetry.EngineCounters{}
+					shards[w] = shard
+					wopts.Telemetry = shard
+				}
+				r := engine.NewRunner(p, wopts)
+				defer r.Close()
+				for {
+					idx, stole, ok := sq.pop(w)
+					if !ok {
+						return
+					}
+					if stole && shard != nil {
+						shard.ExploreSteals++
+					}
+					if pool.stopped() {
+						// Covered by earlier shards (or drift): skip without
+						// exploring. The merge never reaches this unit.
+						if shard != nil {
+							shard.ExplorePruned++
+						}
+						pool.finish(idx, &subtreeResult{stopped: true}, nil)
+						continue
+					}
+					u := units[idx]
+					m := make(map[string]int)
+					sub := dfs(r, u.prefix, u.want, pool.limit, shard, pool.stopped,
+						func(o *engine.Outcome) bool {
+							m[key(o)]++
+							return true
+						})
+					if sub.stopped && shard != nil {
+						shard.ExplorePruned++
+					}
+					pool.finish(idx, &sub, m)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	// Any drift aborts the whole exploration; report the one from the
+	// lexicographically earliest unit for stability.
+	for i := range units {
+		if r := pool.results[i]; r != nil && r.drift != nil {
+			mergeTel()
+			return nil, Result{Drift: r.drift}
+		}
+	}
+
+	// Phase 3: deterministic merge in frontier order.
+	counts := make(map[string]int)
+	res := Result{Complete: true}
+	for i := range units {
+		if cfg.Limit > 0 && res.Runs >= cfg.Limit {
+			// The limit cut the tree before this unit; serial would have
+			// stopped here too.
+			res.Complete = false
+			break
+		}
+		r, m := pool.results[i], pool.counts[i]
+		remaining := 0
+		if cfg.Limit > 0 {
+			remaining = cfg.Limit - res.Runs
+		}
+		if r == nil || r.stopped || (cfg.Limit > 0 && r.runs > remaining) {
+			// The unit was skipped, stopped early, or explored past the
+			// budget that is actually left for it: re-descend it serially
+			// with exactly the remaining budget so the merged counts match
+			// the serial cut bit for bit.
+			m = make(map[string]int)
+			sub := dfs(rc, units[i].prefix, units[i].want, remaining, coordTel, nil,
+				func(o *engine.Outcome) bool {
+					m[key(o)]++
+					return true
+				})
+			if sub.drift != nil {
+				mergeTel()
+				return nil, Result{Drift: sub.drift}
+			}
+			r = &sub
+		}
+		for k, n := range m {
+			counts[k] += n
+		}
+		res.Runs += r.runs
+		res.Truncated += r.truncated
+		if !r.complete {
+			res.Complete = false
+		}
+	}
+	mergeTel()
+	return counts, res
+}

@@ -1,0 +1,98 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pctwm/internal/engine"
+	"pctwm/internal/enumerate"
+	"pctwm/internal/telemetry"
+)
+
+// ExploreTarget is one program in an explore-throughput measurement:
+// the exhaustive explorer enumerates its decision tree and classifies
+// each leaf with Key. Callers build targets from litmus.Suite() or
+// benchprog programs; harness stays ignorant of either package.
+type ExploreTarget struct {
+	Name string
+	Prog *engine.Program
+	Key  func(*engine.Outcome) string
+}
+
+// ExploreStrategyName renders the worker count as the snapshot's
+// strategy tag ("serial" for 1, "workers-N" otherwise), so explore
+// cells gate per worker count like trial-loop cells gate per strategy.
+func ExploreStrategyName(workers int) string {
+	if workers == 1 {
+		return "serial"
+	}
+	if workers <= 0 {
+		return fmt.Sprintf("workers-%d", runtime.GOMAXPROCS(0))
+	}
+	return fmt.Sprintf("workers-%d", workers)
+}
+
+// MeasureExplore exhaustively explores every target (limit-capped, on
+// `workers` exploration workers) and reports aggregate throughput as an
+// EngineSnapshot cell: runs are merged explored executions across all
+// targets, events come from the explorer's telemetry, and the usual
+// best-of-measureReps wall-clock estimator smooths ambient noise. The
+// cell plugs into the same CompareSnapshots gate as the trial loop.
+func MeasureExplore(name string, targets []ExploreTarget, limit, workers int, opts engine.Options) EngineSnapshot {
+	measure := func() (time.Duration, int, *telemetry.EngineCounters) {
+		tel := &telemetry.EngineCounters{}
+		o := opts
+		o.Telemetry = tel
+		total := 0
+		start := time.Now()
+		for _, tgt := range targets {
+			_, res := enumerate.Outcomes(tgt.Prog, o, enumerate.Config{Limit: limit, Workers: workers}, tgt.Key)
+			if res.Drift != nil {
+				// Exploration targets are deterministic by construction;
+				// surface a drift as a zero-runs cell rather than panicking.
+				return time.Since(start), 0, tel
+			}
+			total += res.Runs
+		}
+		return time.Since(start), total, tel
+	}
+
+	// Warmup pass: fault in code paths and let the runtime settle.
+	measure()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	var best time.Duration
+	var runs int
+	var tel *telemetry.EngineCounters
+	for rep := 0; rep < measureReps; rep++ {
+		elapsed, n, t := measure()
+		if rep == 0 || elapsed < best {
+			best, runs, tel = elapsed, n, t
+		}
+	}
+	runtime.ReadMemStats(&after)
+
+	totalRuns := float64(measureReps) * float64(max(runs, 1))
+	snap := EngineSnapshot{
+		Benchmark:    name,
+		Strategy:     ExploreStrategyName(workers),
+		Runs:         runs,
+		AllocsPerRun: float64(after.Mallocs-before.Mallocs) / totalRuns,
+		BytesPerRun:  float64(after.TotalAlloc-before.TotalAlloc) / totalRuns,
+	}
+	if runs > 0 {
+		snap.NsPerRun = float64(best.Nanoseconds()) / float64(runs)
+	}
+	if ev := tel.Events(); ev > 0 {
+		snap.NsPerEvent = float64(best.Nanoseconds()) / float64(ev)
+	}
+	if best > 0 {
+		snap.RunsPerSec = float64(runs) / best.Seconds()
+	}
+	s := tel.Summary()
+	snap.Telemetry = &s
+	return snap
+}

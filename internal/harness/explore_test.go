@@ -1,0 +1,45 @@
+package harness
+
+import (
+	"testing"
+
+	"pctwm/internal/engine"
+	"pctwm/internal/litmus"
+)
+
+// TestMeasureExploreShape: the explore-throughput cell carries a
+// positive measurement, the strategy tag encodes the worker count, and
+// serial vs parallel cells report the same merged run count (the
+// determinism contract surfacing in the snapshot).
+func TestMeasureExploreShape(t *testing.T) {
+	var targets []ExploreTarget
+	for _, name := range []string{"SB+rlx", "MP+rlx"} {
+		for _, lt := range litmus.Suite() {
+			if lt.Name == name {
+				lt := lt
+				targets = append(targets, ExploreTarget{
+					Name: lt.Name,
+					Prog: lt.Program,
+					Key:  func(o *engine.Outcome) string { return lt.Outcome(o.FinalValues) },
+				})
+			}
+		}
+	}
+	if len(targets) != 2 {
+		t.Fatalf("targets: %d", len(targets))
+	}
+	serial := MeasureExplore("explore-test", targets, 0, 1, engine.Options{})
+	par := MeasureExplore("explore-test", targets, 0, 4, engine.Options{})
+	if serial.Strategy != "serial" || par.Strategy != "workers-4" {
+		t.Fatalf("strategy tags: %q / %q", serial.Strategy, par.Strategy)
+	}
+	if serial.Runs <= 0 || serial.NsPerRun <= 0 || serial.NsPerEvent <= 0 || serial.RunsPerSec <= 0 {
+		t.Fatalf("degenerate serial cell: %+v", serial)
+	}
+	if par.Runs != serial.Runs {
+		t.Fatalf("merged run counts diverge: serial %d, workers-4 %d", serial.Runs, par.Runs)
+	}
+	if serial.Telemetry == nil || serial.Telemetry.ExploreRuns == 0 {
+		t.Fatalf("missing explorer telemetry: %+v", serial.Telemetry)
+	}
+}

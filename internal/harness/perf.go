@@ -112,11 +112,37 @@ type SnapshotDelta struct {
 	// DeltaPercent is (new-old)/old in percent: positive means the new
 	// snapshot is slower (a regression), negative faster.
 	DeltaPercent float64
+	// OldAllocsPerRun / NewAllocsPerRun compare steady-state allocation
+	// counts the same way (zero when the old snapshot predates the field).
+	OldAllocsPerRun float64
+	NewAllocsPerRun float64
+	// AllocsDeltaPercent is (new-old)/old allocations in percent; 0 when
+	// the old side is 0 (nothing to compare against).
+	AllocsDeltaPercent float64
 }
 
-// Regressed reports whether the cell slowed down by more than maxPercent.
+// Regressed reports whether the cell's per-event cost grew by more than
+// maxPercent.
 func (d SnapshotDelta) Regressed(maxPercent float64) bool {
 	return d.DeltaPercent > maxPercent
+}
+
+// allocsAbsSlack is the absolute allocs-per-run growth below which
+// AllocsRegressed never fires: steady-state loops sit at a handful of
+// allocations per run, where GC bookkeeping jitter of a fraction of an
+// allocation would otherwise trip any percentage gate.
+const allocsAbsSlack = 0.5
+
+// AllocsRegressed reports whether the cell's allocations per run grew by
+// more than maxPercent AND by more than half an allocation in absolute
+// terms. Old snapshots without allocation data (old side 0) never
+// regress.
+func (d SnapshotDelta) AllocsRegressed(maxPercent float64) bool {
+	if d.OldAllocsPerRun <= 0 {
+		return false
+	}
+	return d.AllocsDeltaPercent > maxPercent &&
+		d.NewAllocsPerRun-d.OldAllocsPerRun > allocsAbsSlack
 }
 
 // CompareSnapshots matches old and new snapshots by (benchmark, strategy)
@@ -134,13 +160,19 @@ func CompareSnapshots(old, new []EngineSnapshot) []SnapshotDelta {
 		if !ok || o.NsPerEvent <= 0 {
 			continue
 		}
-		deltas = append(deltas, SnapshotDelta{
-			Benchmark:     o.Benchmark,
-			Strategy:      o.Strategy,
-			OldNsPerEvent: o.NsPerEvent,
-			NewNsPerEvent: n.NsPerEvent,
-			DeltaPercent:  100 * (n.NsPerEvent - o.NsPerEvent) / o.NsPerEvent,
-		})
+		d := SnapshotDelta{
+			Benchmark:       o.Benchmark,
+			Strategy:        o.Strategy,
+			OldNsPerEvent:   o.NsPerEvent,
+			NewNsPerEvent:   n.NsPerEvent,
+			DeltaPercent:    100 * (n.NsPerEvent - o.NsPerEvent) / o.NsPerEvent,
+			OldAllocsPerRun: o.AllocsPerRun,
+			NewAllocsPerRun: n.AllocsPerRun,
+		}
+		if o.AllocsPerRun > 0 {
+			d.AllocsDeltaPercent = 100 * (n.AllocsPerRun - o.AllocsPerRun) / o.AllocsPerRun
+		}
+		deltas = append(deltas, d)
 	}
 	return deltas
 }

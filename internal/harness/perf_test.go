@@ -53,6 +53,50 @@ func TestCompareSnapshots(t *testing.T) {
 	}
 }
 
+func snapAllocs(bench, strat string, nsPerEvent, allocs float64) EngineSnapshot {
+	s := snap(bench, strat, nsPerEvent)
+	s.AllocsPerRun = allocs
+	return s
+}
+
+// TestCompareSnapshotsAllocs: the allocation gate fires on a real
+// regression, tolerates sub-slack jitter on tiny counts, and never
+// fires against a baseline without allocation data.
+func TestCompareSnapshotsAllocs(t *testing.T) {
+	old := []EngineSnapshot{
+		snapAllocs("dekker", "pctwm", 100, 20),
+		snapAllocs("msqueue", "pctwm", 100, 2),
+		snapAllocs("seqlock", "pctwm", 100, 0), // pre-allocs baseline
+	}
+	fresh := []EngineSnapshot{
+		snapAllocs("dekker", "pctwm", 100, 30),   // +50%, +10 abs: regression
+		snapAllocs("msqueue", "pctwm", 100, 2.4), // +20% but only +0.4 abs: jitter
+		snapAllocs("seqlock", "pctwm", 100, 7),   // old side empty: no gate
+	}
+	deltas := CompareSnapshots(old, fresh)
+	if len(deltas) != 3 {
+		t.Fatalf("got %d deltas, want 3: %+v", len(deltas), deltas)
+	}
+	if !deltas[0].AllocsRegressed(25) {
+		t.Errorf("+50%%/+10 allocs not flagged: %+v", deltas[0])
+	}
+	if deltas[0].AllocsRegressed(60) {
+		t.Errorf("+50%% flagged at a 60%% gate: %+v", deltas[0])
+	}
+	if deltas[0].Regressed(15) {
+		t.Errorf("allocs regression leaked into the ns_per_event gate: %+v", deltas[0])
+	}
+	if deltas[1].AllocsRegressed(10) {
+		t.Errorf("sub-slack jitter (+0.4 allocs) flagged: %+v", deltas[1])
+	}
+	if deltas[1].AllocsDeltaPercent < 19 || deltas[1].AllocsDeltaPercent > 21 {
+		t.Errorf("allocs delta = %v, want ~20", deltas[1].AllocsDeltaPercent)
+	}
+	if deltas[2].AllocsRegressed(0) {
+		t.Errorf("empty baseline flagged: %+v", deltas[2])
+	}
+}
+
 // TestMeasureEngineShape: a tiny measurement produces internally
 // consistent, positive metrics.
 func TestMeasureEngineShape(t *testing.T) {

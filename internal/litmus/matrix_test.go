@@ -1,24 +1,35 @@
 package litmus
 
 import (
+	"flag"
 	"testing"
 
 	"pctwm/internal/engine"
 	"pctwm/internal/enumerate"
 )
 
+// exploreWorkers shards the exhaustive explorations of this package's
+// conformance tests across a worker pool (0 = GOMAXPROCS). Outcome sets
+// are bit-identical at any value; CI passes -explore.workers explicitly.
+var exploreWorkers = flag.Int("explore.workers", 0, "exhaustive-exploration workers (0 = GOMAXPROCS)")
+
 // reachableOutcomes exhaustively enumerates every execution of the test
 // under the given memory model and returns the set of final register
 // outcomes. The litmus programs are tiny and loop-free, so the
-// exploration must complete within the limit.
+// exploration must complete within the limit. Enumeration runs on the
+// pooled parallel explorer.
 func reachableOutcomes(t *testing.T, lt *Test, model string) map[string]bool {
 	t.Helper()
-	counts, res := enumerate.Outcomes(lt.Program, engine.Options{Model: model}, 2_000_000, func(o *engine.Outcome) string {
-		if o.Aborted || o.Deadlocked || o.Abnormal() {
-			return "!abnormal"
-		}
-		return lt.Outcome(o.FinalValues)
-	})
+	counts, res := enumerate.Outcomes(lt.Program, engine.Options{Model: model},
+		enumerate.Config{Limit: 2_000_000, Workers: *exploreWorkers}, func(o *engine.Outcome) string {
+			if o.Aborted || o.Deadlocked || o.Abnormal() {
+				return "!abnormal"
+			}
+			return lt.Outcome(o.FinalValues)
+		})
+	if res.Drift != nil {
+		t.Fatalf("%s/%s: %v", lt.Name, model, res.Drift)
+	}
 	if !res.Complete {
 		t.Fatalf("%s/%s: exploration incomplete after %d runs", lt.Name, model, res.Runs)
 	}

@@ -345,26 +345,33 @@ func Coverage(w io.Writer, cfg Config) error {
 		if lt == nil {
 			return fmt.Errorf("report: unknown litmus test %q", name)
 		}
-		full, res := enumerate.Outcomes(lt.Program, engine.Options{Model: cfg.Model}, 500000, func(o *engine.Outcome) string {
-			return lt.Outcome(o.FinalValues)
-		})
+		full, res := enumerate.Outcomes(lt.Program, engine.Options{Model: cfg.Model},
+			enumerate.Config{Limit: 500000, Workers: cfg.Workers}, func(o *engine.Outcome) string {
+				return lt.Outcome(o.FinalValues)
+			})
+		if res.Drift != nil {
+			return res.Drift
+		}
 		total := fmt.Sprintf("%d", len(full))
 		if !res.Complete {
 			total += "+"
 		}
 		est := harness.EstimateParams(lt.Program, 10, cfg.Seed, engine.Options{Model: cfg.Model})
 		row := []string{}
+		runner := engine.NewRunner(lt.Program, engine.Options{Model: cfg.Model})
 		for _, factory := range []harness.StrategyFactory{
 			harness.C11Tester(), harness.POSFactory(),
 			harness.PCTFactory(2), harness.PCTWMFactory(2, 2),
 		} {
 			seen := map[string]bool{}
+			strat := factory(est)
 			for i := 0; i < cfg.Runs; i++ {
-				o := engine.Run(lt.Program, factory(est), cfg.Seed+int64(i), engine.Options{Model: cfg.Model})
+				o := runner.Run(strat, cfg.Seed+int64(i))
 				seen[lt.Outcome(o.FinalValues)] = true
 			}
 			row = append(row, fmt.Sprintf("%d", len(seen)))
 		}
+		runner.Close()
 		fmt.Fprintf(tw, "%s\t%s\t%s\n", lt.Name, total, strings.Join(row, "\t"))
 	}
 	return tw.Flush()

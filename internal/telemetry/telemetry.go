@@ -175,6 +175,21 @@ type EngineCounters struct {
 	// recorded executions against the C11 axioms (tools and tests call
 	// AddAxiomRecheck around axiom.Graph.Check).
 	AxiomRecheckNs uint64
+	// ExploreRuns counts engine executions performed by the exhaustive
+	// explorer (internal/enumerate): counted leaves plus frontier-expansion
+	// probes and merge-time re-descents. Unlike enumerate.Result.Runs this
+	// is a work counter — it includes executions whose results were
+	// discarded, so its value may vary with the worker count.
+	ExploreRuns uint64
+	// ExploreSteals counts subtree shards a worker claimed from another
+	// worker's queue (work-stealing in the parallel explorer). Zero for
+	// serial explorations; scheduling-dependent otherwise.
+	ExploreSteals uint64
+	// ExplorePruned counts frontier subtrees the parallel explorer skipped
+	// or discarded without merging: the run limit was already covered by
+	// lexicographically earlier shards, or a drift abort cut the
+	// exploration short. Scheduling-dependent, like ExploreRuns.
+	ExplorePruned uint64
 
 	// ChangePoints is the capped per-Runner change-point log (see
 	// maxChangePointLog). It is a diagnostic for single-execution trace
@@ -229,6 +244,9 @@ func (c *EngineCounters) Merge(o *EngineCounters) {
 	c.RaceChecks += o.RaceChecks
 	c.Drains += o.Drains
 	c.AxiomRecheckNs += o.AxiomRecheckNs
+	c.ExploreRuns += o.ExploreRuns
+	c.ExploreSteals += o.ExploreSteals
+	c.ExplorePruned += o.ExplorePruned
 }
 
 // Events returns the total number of counted events across all kinds and
@@ -258,6 +276,9 @@ type EngineSummary struct {
 	RaceChecks       uint64            `json:"race_checks"`
 	Drains           uint64            `json:"drains,omitempty"`
 	AxiomRecheckNs   uint64            `json:"axiom_recheck_ns"`
+	ExploreRuns      uint64            `json:"explore_runs,omitempty"`
+	ExploreSteals    uint64            `json:"explore_steals,omitempty"`
+	ExplorePruned    uint64            `json:"explore_pruned,omitempty"`
 }
 
 // Summary digests the counters (the change-point log is excluded — it is
@@ -274,6 +295,9 @@ func (c *EngineCounters) Summary() EngineSummary {
 		RaceChecks:       c.RaceChecks,
 		Drains:           c.Drains,
 		AxiomRecheckNs:   c.AxiomRecheckNs,
+		ExploreRuns:      c.ExploreRuns,
+		ExploreSteals:    c.ExploreSteals,
+		ExplorePruned:    c.ExplorePruned,
 	}
 	for k := range c.Ops {
 		for ord := range c.Ops[k] {
