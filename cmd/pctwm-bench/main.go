@@ -6,6 +6,7 @@
 //
 //	pctwm-bench [-runs N] [-s SEED] [-workers N] [-d D] [-y H] [-bench a,b]
 //	            [-repro-dir DIR [-max-repros N]]
+//	            [-checkpoint-dir DIR [-checkpoint-every N]] [-resume DIR]
 //	            [-metrics-addr ADDR] [-pprof-addr ADDR] [-progress] [-telemetry]
 //	            [-json] [-compare FILE [-max-regress PCT] [-max-allocs-regress PCT]]
 //	            [-explore] [-engine.baton]
@@ -33,6 +34,16 @@
 // litmus suite enumerated serially and on 8 workers) to -json/-compare
 // measurements. -engine.baton runs everything on the legacy baton
 // scheduler (escape hatch; same schedules, slower).
+//
+// -checkpoint-dir arms the durable checkpoint layer: each benchmark ×
+// strategy cell periodically (every -checkpoint-every trials) writes an
+// atomic, checksummed snapshot of its cumulative state under DIR. After
+// a crash or kill -9, `pctwm-bench -resume DIR` (same flags otherwise)
+// reloads the newest good generation of every cell and continues,
+// finishing with totals bit-identical to an uninterrupted run at any
+// worker count. If the directory becomes unwritable mid-campaign the run
+// keeps going, logs once, and the summary line is marked
+// "durability: degraded".
 //
 // SIGINT/SIGTERM interrupt the run gracefully: in-flight trials are
 // aborted through the engine's cooperative cancellation, the partial
@@ -76,6 +87,9 @@ func main() {
 		baton       = flag.Bool("engine.baton", false, "use the legacy baton scheduler (escape hatch; identical schedules)")
 		reproDir    = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
 		maxRepros   = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per benchmark × strategy cell")
+		ckptDir     = flag.String("checkpoint-dir", "", "write periodic durable campaign checkpoints under this directory")
+		ckptEvery   = flag.Int("checkpoint-every", harness.DefaultCheckpointEvery, "checkpoint cadence in trials per cell")
+		resumeDir   = flag.String("resume", "", "resume a checkpointed campaign from this directory (implies -checkpoint-dir)")
 		metricsAddr = flag.String("metrics-addr", "", "serve campaign metrics on this address (/metrics Prometheus, /metrics.json, /debug/vars)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address")
 		progress    = flag.Bool("progress", false, "print a periodic one-line campaign status to stderr")
@@ -89,6 +103,27 @@ func main() {
 	}
 	if *model == "" {
 		*model = engine.ModelRC11 // "" selects the default backend
+	}
+
+	// -resume is -checkpoint-dir plus loading whatever good generations
+	// already exist; both at once must agree on the directory.
+	var spec *harness.CheckpointSpec
+	if *resumeDir != "" {
+		if *ckptDir != "" && *ckptDir != *resumeDir {
+			fmt.Fprintf(os.Stderr, "pctwm-bench: -resume %s conflicts with -checkpoint-dir %s\n", *resumeDir, *ckptDir)
+			os.Exit(2)
+		}
+		*ckptDir = *resumeDir
+	}
+	if *ckptDir != "" {
+		spec = &harness.CheckpointSpec{
+			Dir:    *ckptDir,
+			Every:  *ckptEvery,
+			Resume: *resumeDir != "",
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "pctwm-bench: "+format+"\n", args...)
+			},
+		}
 	}
 
 	// Graceful interruption: the first SIGINT/SIGTERM cancels the context
@@ -215,6 +250,7 @@ func main() {
 				Workers: *workers, Context: ctx,
 				ReproDir: *reproDir, MaxRepros: *maxRepros,
 				Metrics: metrics, Telemetry: *telFlag,
+				Checkpoint: spec, CheckpointCell: b.Name + "/" + c.name,
 			}
 			res := harness.RunCampaign(prog, b.Detect, newStrategy, *runs, *seed+int64(10*i), opts, camp)
 			bundles += reportFailures(b.Name, c.name, res)
@@ -235,11 +271,15 @@ func main() {
 	if bundles > 0 {
 		fmt.Fprintf(os.Stderr, "pctwm-bench: %d repro bundle(s) written under %s (replay with pctwm-replay)\n", bundles, *reproDir)
 	}
+	durability := ""
+	if spec != nil && spec.Degraded() {
+		durability = ", durability: degraded"
+	}
 	if interrupted {
-		fmt.Printf("(interrupted: partial results, %d rounds per completed cell, %v total)\n", *runs, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(interrupted: partial results, %d rounds per completed cell, %v total%s)\n", *runs, time.Since(start).Round(time.Millisecond), durability)
 		os.Exit(1)
 	}
-	fmt.Printf("(%d rounds per cell, %v total)\n", *runs, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("(%d rounds per cell, %v total%s)\n", *runs, time.Since(start).Round(time.Millisecond), durability)
 }
 
 // reportFailures prints the campaign's captured failures (repro bundles +
@@ -466,6 +506,15 @@ func runCompare(ctx context.Context, benches []*benchprog.Benchmark, dFor func(*
 		return 2
 	}
 	deltas := harness.CompareSnapshots(kept, fresh)
+	missingFromOld, missingFromNew := harness.SnapshotGaps(kept, fresh)
+	if len(missingFromOld) > 0 {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: %d cell(s) measured but absent from %s (not gated): %s\n",
+			len(missingFromOld), baselinePath, strings.Join(missingFromOld, ", "))
+	}
+	if len(missingFromNew) > 0 {
+		fmt.Fprintf(os.Stderr, "pctwm-bench: %d baseline cell(s) not measured this run: %s\n",
+			len(missingFromNew), strings.Join(missingFromNew, ", "))
+	}
 	if len(deltas) == 0 {
 		fmt.Fprintf(os.Stderr, "pctwm-bench: no comparable cells between %s and the fresh measurement\n", baselinePath)
 		return 2

@@ -5,6 +5,7 @@
 //
 //	pctwm-experiments [-quick] [-runs N] [-fig6runs N] [-perfruns N] [-seed S] [-workers N]
 //	                  [-repro-dir DIR [-max-repros N]]
+//	                  [-checkpoint-dir DIR [-checkpoint-every N]] [-resume DIR]
 //	                  [-metrics-addr ADDR] [-pprof-addr ADDR] [-progress]
 //	                  [-section all|table1|table2|table3|table4|figure5|figure6|telemetry|...]
 //
@@ -17,7 +18,13 @@
 // text on /metrics, JSON on /metrics.json, expvar on /debug/vars);
 // -pprof-addr serves net/http/pprof (campaign workers run under pprof
 // labels, so profiles slice by worker/strategy/program); -progress
-// prints a periodic one-line status to stderr. SIGINT/SIGTERM stop the
+// prints a periodic one-line status to stderr. -checkpoint-dir arms
+// durable campaign checkpoints: every trial batch periodically snapshots
+// its cumulative state under DIR (one subdirectory per section cell),
+// and `pctwm-experiments -resume DIR` with otherwise identical flags
+// continues a killed run with bit-identical artifacts at any worker
+// count; an unwritable directory degrades gracefully (the run finishes,
+// a "durability: degraded" notice is printed). SIGINT/SIGTERM stop the
 // run gracefully: the rows finished so far are flushed, the progress
 // reporter emits its final line, a partial notice is printed, and the
 // process exits nonzero.
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"pctwm/internal/engine"
+	"pctwm/internal/harness"
 	"pctwm/internal/report"
 	"pctwm/internal/telemetry"
 )
@@ -50,6 +58,9 @@ func main() {
 		section     = flag.String("section", "all", "which artifact to regenerate: all, table1..table4, figure5, figure6, ablation, baselines, coverage, figure5csv, figure6csv, telemetry, telemetrycsv")
 		reproDir    = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
 		maxRepros   = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per trial batch")
+		ckptDir     = flag.String("checkpoint-dir", "", "write periodic durable campaign checkpoints under this directory")
+		ckptEvery   = flag.Int("checkpoint-every", harness.DefaultCheckpointEvery, "checkpoint cadence in trials per batch")
+		resumeDir   = flag.String("resume", "", "resume a checkpointed run from this directory (implies -checkpoint-dir)")
 		metricsAddr = flag.String("metrics-addr", "", "serve campaign metrics on this address (/metrics Prometheus, /metrics.json, /debug/vars)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address")
 		progress    = flag.Bool("progress", false, "print a periodic one-line campaign status to stderr")
@@ -94,6 +105,26 @@ func main() {
 	cfg.ReproDir = *reproDir
 	cfg.MaxRepros = *maxRepros
 	cfg.Model = *model
+
+	// -resume is -checkpoint-dir plus loading whatever good generations
+	// already exist; both at once must agree on the directory.
+	if *resumeDir != "" {
+		if *ckptDir != "" && *ckptDir != *resumeDir {
+			fmt.Fprintf(os.Stderr, "pctwm-experiments: -resume %s conflicts with -checkpoint-dir %s\n", *resumeDir, *ckptDir)
+			os.Exit(2)
+		}
+		*ckptDir = *resumeDir
+	}
+	if *ckptDir != "" {
+		cfg.Checkpoint = &harness.CheckpointSpec{
+			Dir:    *ckptDir,
+			Every:  *ckptEvery,
+			Resume: *resumeDir != "",
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "pctwm-experiments: "+format+"\n", args...)
+			},
+		}
+	}
 
 	// One metrics hub for the whole process: every report section's trial
 	// batches feed it, and the HTTP endpoint / progress reporter read it.
@@ -151,6 +182,9 @@ func main() {
 	// Flush the final progress line before any exit path (os.Exit skips
 	// deferred calls); stop is idempotent, so the deferred call is a no-op.
 	stopProgress()
+	if cfg.Checkpoint != nil && cfg.Checkpoint.Degraded() {
+		fmt.Fprintf(os.Stderr, "pctwm-experiments: durability: degraded (checkpoint directory became unwritable; artifacts above are complete but not resumable)\n")
+	}
 	if err != nil {
 		if errors.Is(err, report.ErrInterrupted) {
 			fmt.Fprintf(os.Stderr, "pctwm-experiments: interrupted: output above is partial\n")

@@ -22,10 +22,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"syscall"
 
 	"pctwm/internal/engine"
 	"pctwm/internal/enumerate"
@@ -70,7 +73,15 @@ func main() {
 		suite = filtered
 	}
 
+	// SIGINT/SIGTERM drain: cancel the exploration pool between
+	// executions, print whatever partial histogram was merged, and exit
+	// nonzero. A second signal kills the process immediately (stop()
+	// restores default disposition).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	failures := 0
+	interrupted := false
 	for _, lt := range suite {
 		var tel telemetry.EngineCounters
 		opts := engine.Options{Baton: *baton, Model: *model}
@@ -78,12 +89,17 @@ func main() {
 			opts.Telemetry = &tel
 		}
 		counts, res := enumerate.Outcomes(lt.Program, opts,
-			enumerate.Config{Limit: *limit, Workers: *workers}, func(o *engine.Outcome) string {
+			enumerate.Config{Limit: *limit, Workers: *workers, Context: ctx}, func(o *engine.Outcome) string {
 				return lt.Outcome(o.FinalValues)
 			})
 		if res.Drift != nil {
 			fmt.Fprintf(os.Stderr, "pctwm-explore: %s: %v\n", lt.Name, res.Drift)
 			os.Exit(1)
+		}
+		if res.Interrupted {
+			interrupted = true
+			fmt.Fprintf(os.Stderr, "pctwm-explore: %s: interrupted after %d executions (partial results below)\n",
+				lt.Name, res.Runs)
 		}
 		fmt.Printf("%s (%s) [model %s]\n", lt.Name, lt.Description, *model)
 		fmt.Printf("  %d executions, complete=%v\n", res.Runs, res.Complete)
@@ -119,6 +135,15 @@ func main() {
 			}
 		}
 		fmt.Println()
+		if interrupted {
+			// The context stays canceled; later tests would all report
+			// zero executions. Stop after draining this one.
+			break
+		}
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "pctwm-explore: interrupted; partial results printed")
+		os.Exit(1)
 	}
 	if failures > 0 {
 		fmt.Printf("%d illegal outcome(s)\n", failures)

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	pctwm-replay [-extra-writes N] [-v] [-perfetto-dir DIR] bundle.json [bundle2.json ...]
+//	pctwm-replay -campaign CHECKPOINT_DIR [bundle.json ...]
+//
+// -campaign reads the durable repro-bundle index out of a campaign
+// checkpoint directory (pctwm-bench/-experiments -checkpoint-dir): the
+// newest good checkpoint generation of every cell names the bundles its
+// campaign captured, and each of those is replayed as if passed on the
+// command line (explicit bundle arguments are replayed afterwards).
 //
 // Each bundle names its program; the program is resolved against the
 // built-in registries (benchmarks, litmus tests, applications) and
@@ -36,6 +43,7 @@ import (
 	"pctwm/internal/apps"
 	"pctwm/internal/benchprog"
 	"pctwm/internal/engine"
+	"pctwm/internal/harness"
 	"pctwm/internal/litmus"
 	"pctwm/internal/replay"
 	"pctwm/internal/telemetry/perfetto"
@@ -47,9 +55,10 @@ func main() {
 		verbose     = flag.Bool("v", false, "print the replayed outcome summary for every bundle")
 		perfDir     = flag.String("perfetto-dir", "", "write recorded and replayed schedules as Chrome trace-event JSON under this directory")
 		model       = flag.String("engine.model", "", "require bundles to record this memory model (empty = replay each under its own recorded model)")
+		campaign    = flag.String("campaign", "", "replay every bundle indexed by the checkpoints under this campaign directory")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: pctwm-replay [-extra-writes N] [-v] [-perfetto-dir DIR] bundle.json [bundle2.json ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: pctwm-replay [-extra-writes N] [-v] [-perfetto-dir DIR] [-campaign DIR] bundle.json [bundle2.json ...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -57,13 +66,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pctwm-replay: unknown memory model %q (have %v)\n", *model, engine.Models())
 		os.Exit(2)
 	}
-	if flag.NArg() == 0 {
+	paths := flag.Args()
+	if *campaign != "" {
+		indexed, err := harness.LoadReproIndex(nil, *campaign)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pctwm-replay: -campaign %s: %v\n", *campaign, err)
+			os.Exit(2)
+		}
+		if len(indexed) == 0 {
+			fmt.Printf("pctwm-replay: no repro bundles indexed under %s (campaign had no captured failures)\n", *campaign)
+		}
+		paths = append(indexed, paths...)
+		if len(paths) == 0 {
+			os.Exit(0)
+		}
+	}
+	if len(paths) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	exit := 0
-	for _, path := range flag.Args() {
+	for _, path := range paths {
 		switch replayBundle(path, *extraWrites, *verbose, *perfDir, *model) {
 		case 1:
 			if exit == 0 {

@@ -23,6 +23,7 @@
 package enumerate
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -156,6 +157,12 @@ type Result struct {
 	// the executions visited before that (Outcomes discards counts
 	// entirely and zeroes them, so serial and parallel agree).
 	Drift *DriftError
+	// Interrupted marks an exploration stopped early by Config.Context
+	// cancellation (SIGINT/SIGTERM drain): the counts returned by
+	// Outcomes are a partial prefix of the leaf set and Complete is
+	// false. Unlike the other fields, the cut point depends on when the
+	// cancellation landed.
+	Interrupted bool
 }
 
 // Config controls an Outcomes exploration.
@@ -168,6 +175,20 @@ type Config struct {
 	// GOMAXPROCS, 1 forces the serial path. Results are bit-identical at
 	// every value.
 	Workers int
+	// Context, when non-nil, cancels the exploration cooperatively: it is
+	// polled between executions, the pool drains, and Outcomes returns
+	// the partial counts with Result.Interrupted set. The engine's
+	// in-flight run is never aborted (a partial execution has no
+	// classifiable outcome).
+	Context context.Context
+}
+
+// ctxStop adapts a context into the dfs stop hook (nil for no context).
+func ctxStop(ctx context.Context) func() bool {
+	if ctx == nil {
+		return nil
+	}
+	return func() bool { return ctx.Err() != nil }
 }
 
 // resolveWorkers maps the Config.Workers convention (0 = GOMAXPROCS)
@@ -327,12 +348,16 @@ func Outcomes(p *engine.Program, opts engine.Options, cfg Config, key func(*engi
 		return parallelOutcomes(p, opts, cfg, key)
 	}
 	counts := make(map[string]int)
-	res := ExploreUntil(p, opts, cfg.Limit, func(o *engine.Outcome) bool {
+	r := engine.NewRunner(p, opts)
+	defer r.Close()
+	sub := dfs(r, nil, nil, cfg.Limit, opts.Telemetry, ctxStop(cfg.Context), func(o *engine.Outcome) bool {
 		counts[key(o)]++
 		return true
 	})
-	if res.Drift != nil {
-		return nil, Result{Drift: res.Drift}
+	if sub.drift != nil {
+		return nil, Result{Drift: sub.drift}
 	}
+	res := sub.result()
+	res.Interrupted = sub.stopped
 	return counts, res
 }

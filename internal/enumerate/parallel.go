@@ -81,7 +81,7 @@ func appendCopy(s []int, v int) []int {
 // one engine run per non-zero child only — the trie of recorded
 // arities is what lets re-descents skip already-known structure.
 func expandFrontier(r *engine.Runner, target int, keyFn func(*engine.Outcome) string,
-	tel *telemetry.EngineCounters) ([]unit, *DriftError) {
+	tel *telemetry.EngineCounters, stop func() bool) (units []unit, interrupted bool, drift *DriftError) {
 	probe := func(prefix, want []int) (*expNode, *DriftError) {
 		s := &scripted{script: prefix, want: want}
 		o := r.Run(s, 0)
@@ -107,12 +107,18 @@ func expandFrontier(r *engine.Runner, target int, keyFn func(*engine.Outcome) st
 		}, nil
 	}
 
+	if stop != nil && stop() {
+		return nil, true, nil
+	}
 	root, derr := probe(nil, nil)
 	if derr != nil {
-		return nil, derr
+		return nil, false, derr
 	}
 	level := []*expNode{root}
 	for depth := 0; depth < maxFrontierDepth && len(level) < target; depth++ {
+		if stop != nil && stop() {
+			return nil, true, nil
+		}
 		internal := 0
 		for _, n := range level {
 			if len(n.tail) > 0 {
@@ -140,14 +146,14 @@ func expandFrontier(r *engine.Runner, target int, keyFn func(*engine.Outcome) st
 			for c := 1; c < arity; c++ {
 				child, derr := probe(appendCopy(n.prefix, c), appendCopy(n.want, arity))
 				if derr != nil {
-					return nil, derr
+					return nil, false, derr
 				}
 				next = append(next, child)
 			}
 		}
 		level = next
 	}
-	units := make([]unit, len(level))
+	units = make([]unit, len(level))
 	for i, n := range level {
 		units[i] = unit{
 			prefix:    n.prefix,
@@ -157,7 +163,7 @@ func expandFrontier(r *engine.Runner, target int, keyFn func(*engine.Outcome) st
 			truncated: n.truncated,
 		}
 	}
-	return units, nil
+	return units, false, nil
 }
 
 // stealQueues distributes unit indices over per-worker FIFO queues. A
@@ -281,12 +287,17 @@ func parallelOutcomes(p *engine.Program, opts engine.Options, cfg Config, key fu
 	}
 
 	// Phase 1: serial frontier expansion on the coordinator's Runner.
+	ctxDone := ctxStop(cfg.Context)
 	rc := engine.NewRunner(p, coordOpts)
 	defer rc.Close()
-	units, derr := expandFrontier(rc, workers*shardFactor, key, coordTel)
+	units, interrupted, derr := expandFrontier(rc, workers*shardFactor, key, coordTel, ctxDone)
 	if derr != nil {
 		mergeTel()
 		return nil, Result{Drift: derr}
+	}
+	if interrupted {
+		mergeTel()
+		return make(map[string]int), Result{Interrupted: true}
 	}
 
 	pool := &explorePool{
@@ -340,7 +351,7 @@ func parallelOutcomes(p *engine.Program, opts engine.Options, cfg Config, key fu
 					if stole && shard != nil {
 						shard.ExploreSteals++
 					}
-					if pool.stopped() {
+					if pool.stopped() || (ctxDone != nil && ctxDone()) {
 						// Covered by earlier shards (or drift): skip without
 						// exploring. The merge never reaches this unit.
 						if shard != nil {
@@ -351,7 +362,11 @@ func parallelOutcomes(p *engine.Program, opts engine.Options, cfg Config, key fu
 					}
 					u := units[idx]
 					m := make(map[string]int)
-					sub := dfs(r, u.prefix, u.want, pool.limit, shard, pool.stopped,
+					wstop := pool.stopped
+					if ctxDone != nil {
+						wstop = func() bool { return pool.stopped() || ctxDone() }
+					}
+					sub := dfs(r, u.prefix, u.want, pool.limit, shard, wstop,
 						func(o *engine.Outcome) bool {
 							m[key(o)]++
 							return true
@@ -379,6 +394,14 @@ func parallelOutcomes(p *engine.Program, opts engine.Options, cfg Config, key fu
 	counts := make(map[string]int)
 	res := Result{Complete: true}
 	for i := range units {
+		if ctxDone != nil && ctxDone() {
+			// Canceled mid-merge: report the partial prefix merged so far
+			// without re-descending the remaining units (a re-descent would
+			// defeat the cancellation).
+			res.Complete = false
+			res.Interrupted = true
+			break
+		}
 		if cfg.Limit > 0 && res.Runs >= cfg.Limit {
 			// The limit cut the tree before this unit; serial would have
 			// stopped here too.
@@ -394,9 +417,10 @@ func parallelOutcomes(p *engine.Program, opts engine.Options, cfg Config, key fu
 			// The unit was skipped, stopped early, or explored past the
 			// budget that is actually left for it: re-descend it serially
 			// with exactly the remaining budget so the merged counts match
-			// the serial cut bit for bit.
+			// the serial cut bit for bit. Cancellation still stops the
+			// re-descent between executions.
 			m = make(map[string]int)
-			sub := dfs(rc, units[i].prefix, units[i].want, remaining, coordTel, nil,
+			sub := dfs(rc, units[i].prefix, units[i].want, remaining, coordTel, ctxDone,
 				func(o *engine.Outcome) bool {
 					m[key(o)]++
 					return true
@@ -414,6 +438,11 @@ func parallelOutcomes(p *engine.Program, opts engine.Options, cfg Config, key fu
 		res.Truncated += r.truncated
 		if !r.complete {
 			res.Complete = false
+		}
+		if r.stopped {
+			res.Complete = false
+			res.Interrupted = true
+			break
 		}
 	}
 	mergeTel()

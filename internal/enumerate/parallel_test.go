@@ -1,7 +1,9 @@
 package enumerate
 
 import (
+	"context"
 	"reflect"
+	"sync/atomic"
 	"testing"
 
 	"pctwm/internal/benchprog"
@@ -237,6 +239,76 @@ func TestExploreUntilStops(t *testing.T) {
 	})
 	if seen != 3 || res.Runs != 3 || res.Complete {
 		t.Fatalf("early stop broken: seen=%d res=%+v", seen, res)
+	}
+}
+
+// countCtx is a context whose Err() flips to context.Canceled after a
+// fixed number of polls — a deterministic stand-in for a signal arriving
+// mid-exploration.
+type countCtx struct {
+	context.Context
+	polls atomic.Int64
+	after int64
+}
+
+func (c *countCtx) Err() error {
+	if c.polls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestContextCancelsExploration: a canceled Config.Context stops both the
+// serial and the parallel explorer between executions, marking the result
+// Interrupted and incomplete while keeping the partial counts it did
+// merge. An already-canceled context yields zero runs.
+func TestContextCancelsExploration(t *testing.T) {
+	lt := litmusByName(t, "IRIW+rlx")
+	key := func(o *engine.Outcome) string { return lt.Outcome(o.FinalValues) }
+
+	_, full := Outcomes(lt.Program, engine.Options{}, Config{Workers: 1}, key)
+	if full.Drift != nil || !full.Complete {
+		t.Fatalf("baseline exploration broken: %+v", full)
+	}
+
+	for _, workers := range []int{1, 4} {
+		cctx := &countCtx{Context: context.Background(), after: 40}
+		counts, res := Outcomes(lt.Program, engine.Options{}, Config{Workers: workers, Context: cctx}, key)
+		if res.Drift != nil {
+			t.Fatalf("workers %d: drift: %v", workers, res.Drift)
+		}
+		if !res.Interrupted || res.Complete {
+			t.Fatalf("workers %d: cancellation not reported: %+v", workers, res)
+		}
+		if res.Runs >= full.Runs {
+			t.Errorf("workers %d: interrupted run explored the full space (%d runs)", workers, res.Runs)
+		}
+		merged := 0
+		for _, n := range counts {
+			merged += n
+		}
+		if merged != res.Runs {
+			t.Errorf("workers %d: partial counts (%d) disagree with Runs (%d)", workers, merged, res.Runs)
+		}
+
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		counts, res = Outcomes(lt.Program, engine.Options{}, Config{Workers: workers, Context: ctx}, key)
+		if !res.Interrupted || res.Runs != 0 || len(counts) != 0 {
+			t.Errorf("workers %d: pre-canceled context still explored: %+v %v", workers, res, counts)
+		}
+	}
+}
+
+// TestNilContextUnchanged: leaving Config.Context nil keeps the explorer
+// on its zero-overhead path with identical results.
+func TestNilContextUnchanged(t *testing.T) {
+	lt := litmusByName(t, "SB+rlx")
+	key := func(o *engine.Outcome) string { return lt.Outcome(o.FinalValues) }
+	wantCounts, wantRes := Outcomes(lt.Program, engine.Options{}, Config{Workers: 2}, key)
+	gotCounts, gotRes := Outcomes(lt.Program, engine.Options{}, Config{Workers: 2, Context: context.Background()}, key)
+	if !reflect.DeepEqual(gotCounts, wantCounts) || gotRes != wantRes {
+		t.Errorf("background context changed results: %+v vs %+v", gotRes, wantRes)
 	}
 }
 

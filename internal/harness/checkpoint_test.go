@@ -1,0 +1,332 @@
+package harness
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"pctwm/internal/benchprog"
+	"pctwm/internal/checkpoint"
+	"pctwm/internal/engine"
+	"pctwm/internal/telemetry"
+)
+
+// comparableResult strips the timing-dependent fields of a TrialResult
+// (Elapsed, Wall are wall-clock noise; the telemetry change-point log is
+// a bounded per-Runner diagnostic whose content depends on which worker
+// merged first) and canonicalizes the failure order (capture order races
+// across workers; the captured *set* is deterministic when the repro
+// budget covers every failure).
+func comparableResult(r TrialResult) TrialResult {
+	r.Elapsed, r.Wall = 0, 0
+	r.ResumedRuns = 0
+	r.StuckDiag = ""
+	if r.Telemetry != nil {
+		tel := *r.Telemetry
+		tel.ChangePoints = nil
+		r.Telemetry = &tel
+	}
+	fails := append([]TrialFailure(nil), r.Failures...)
+	for i := range fails {
+		fails[i].BundlePath = filepath.Base(fails[i].BundlePath)
+	}
+	sort.Slice(fails, func(i, j int) bool { return fails[i].Seed < fails[j].Seed })
+	if len(fails) == 0 {
+		fails = nil
+	}
+	r.Failures = fails
+	return r
+}
+
+// requireIdentical asserts two stripped results are bit-identical,
+// dumping both as JSON on divergence.
+func requireIdentical(t *testing.T, label string, got, want TrialResult) {
+	t.Helper()
+	if reflect.DeepEqual(got, want) {
+		return
+	}
+	gj, _ := json.MarshalIndent(struct {
+		TrialResult
+		Telemetry *telemetry.EngineCounters
+	}{got, got.Telemetry}, "", " ")
+	wj, _ := json.MarshalIndent(struct {
+		TrialResult
+		Telemetry *telemetry.EngineCounters
+	}{want, want.Telemetry}, "", " ")
+	t.Fatalf("%s diverges:\n--- got ---\n%s\n--- want ---\n%s", label, gj, wj)
+}
+
+func mustBench(t *testing.T, name string) *benchprog.Benchmark {
+	t.Helper()
+	b, err := benchprog.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCheckpointKillResumeDeterminism is the tentpole guarantee: a
+// campaign killed between checkpoint generations (simulated SIGKILL via
+// the killAfterChunks hook) and resumed finishes with bit-identical
+// totals, telemetry merges, and repro indexes to an uninterrupted run —
+// across worker counts and memory models.
+func TestCheckpointKillResumeDeterminism(t *testing.T) {
+	b := mustBench(t, "dekker")
+	prog := b.Program(0)
+	const (
+		runs  = 600
+		every = 100
+		seed  = 42
+	)
+	for _, model := range []string{engine.ModelRC11, engine.ModelTSO} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/workers%d", model, workers), func(t *testing.T) {
+				opts := b.Options()
+				opts.Model = model
+				newStrategy := func() engine.Strategy { return C11Tester()(Estimate{}) }
+
+				// Reference: uninterrupted, unchunked campaign with a repro
+				// budget large enough to capture every failure.
+				refDir := t.TempDir()
+				ref := RunCampaign(prog, b.Detect, newStrategy, runs, seed, opts,
+					Campaign{Workers: workers, Telemetry: true, ReproDir: refDir, MaxRepros: runs})
+
+				// Killed run: checkpoint every 100 trials, die after 2
+				// committed generations (trial 200 of 600).
+				dir := t.TempDir()
+				reproDir := filepath.Join(dir, "repros")
+				spec := &CheckpointSpec{Dir: filepath.Join(dir, "ckpt"), Every: every, killAfterChunks: 2}
+				camp := Campaign{Workers: workers, Telemetry: true, ReproDir: reproDir, MaxRepros: runs,
+					Checkpoint: spec, CheckpointCell: "kill-resume"}
+				killed := RunCampaign(prog, b.Detect, newStrategy, runs, seed, opts, camp)
+				if !killed.Interrupted {
+					t.Fatalf("killAfterChunks did not interrupt the campaign: %+v", killed)
+				}
+				if killed.Runs != 2*every {
+					t.Fatalf("killed campaign ran %d trials, want %d", killed.Runs, 2*every)
+				}
+
+				// Resume in a fresh spec (new process): must pick up at trial
+				// 200 and finish.
+				respec := &CheckpointSpec{Dir: filepath.Join(dir, "ckpt"), Every: every, Resume: true}
+				recamp := camp
+				recamp.Checkpoint = respec
+				resumed := RunCampaign(prog, b.Detect, newStrategy, runs, seed, opts, recamp)
+				if resumed.ResumedRuns != 2*every {
+					t.Fatalf("ResumedRuns = %d, want %d", resumed.ResumedRuns, 2*every)
+				}
+				requireIdentical(t, "resumed vs uninterrupted", comparableResult(resumed), comparableResult(ref))
+
+				// Repro indexes: same bundle set (by filename).
+				refIdx := bundleNames(t, refDir)
+				resIdx := bundleNames(t, reproDir)
+				if fmt.Sprint(refIdx) != fmt.Sprint(resIdx) {
+					t.Fatalf("repro index diverges:\n  resumed %v\n  ref     %v", resIdx, refIdx)
+				}
+				// And the durable index recorded in the checkpoint matches
+				// the bundles on disk.
+				idx, err := LoadReproIndex(nil, filepath.Join(dir, "ckpt"))
+				if err != nil {
+					t.Fatalf("LoadReproIndex: %v", err)
+				}
+				var idxNames []string
+				for _, p := range idx {
+					idxNames = append(idxNames, filepath.Base(p))
+				}
+				sort.Strings(idxNames)
+				if fmt.Sprint(idxNames) != fmt.Sprint(resIdx) {
+					t.Fatalf("checkpointed repro index diverges from disk:\n  index %v\n  disk  %v", idxNames, resIdx)
+				}
+
+				// Resuming an already-complete campaign returns the stored
+				// totals without running anything.
+				again := RunCampaign(prog, b.Detect, newStrategy, runs, seed, opts, recamp)
+				if again.ResumedRuns != runs || again.Runs != runs {
+					t.Fatalf("resume of complete campaign re-ran trials: %+v", again)
+				}
+				requireIdentical(t, "stored vs uninterrupted", comparableResult(again), comparableResult(ref))
+			})
+		}
+	}
+}
+
+func bundleNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestCheckpointedMatchesUnchunked: with checkpointing on and no kill,
+// the chunked loop itself must not perturb totals.
+func TestCheckpointedMatchesUnchunked(t *testing.T) {
+	b := mustBench(t, "barrier")
+	prog := b.Program(0)
+	opts := b.Options()
+	newStrategy := func() engine.Strategy { return C11Tester()(Estimate{}) }
+	const runs, seed = 300, 11
+
+	plain := RunCampaign(prog, b.Detect, newStrategy, runs, seed, opts, Campaign{Workers: 2, Telemetry: true})
+	spec := &CheckpointSpec{Dir: t.TempDir(), Every: 64}
+	chunked := RunCampaign(prog, b.Detect, newStrategy, runs, seed, opts,
+		Campaign{Workers: 2, Telemetry: true, Checkpoint: spec})
+	requireIdentical(t, "checkpointed vs plain", comparableResult(chunked), comparableResult(plain))
+}
+
+// TestCheckpointTransientFaultsRetried: a burst of transient write
+// errors (ENOSPC-style) is absorbed by retry/backoff; the campaign stays
+// fully durable.
+func TestCheckpointTransientFaultsRetried(t *testing.T) {
+	b := mustBench(t, "dekker")
+	prog := b.Program(0)
+	opts := b.Options()
+	newStrategy := func() engine.Strategy { return C11Tester()(Estimate{}) }
+
+	ffs := &checkpoint.FaultFS{}
+	ffs.FailWrites(2, errors.New("injected ENOSPC"))
+	m := &telemetry.Metrics{}
+	spec := &CheckpointSpec{Dir: t.TempDir(), Every: 50, FS: ffs}
+	res := RunCampaign(prog, b.Detect, newStrategy, 150, 3, opts,
+		Campaign{Workers: 2, Metrics: m, Checkpoint: spec})
+	if res.Durability == DurabilityDegraded || spec.Degraded() {
+		t.Fatalf("transient faults degraded the campaign: %+v", res)
+	}
+	snap := m.SnapshotAt(time.Now())
+	if snap.CheckpointRetries < 2 {
+		t.Fatalf("retries = %d, want >= 2", snap.CheckpointRetries)
+	}
+	if snap.CheckpointWrites != 3 {
+		t.Fatalf("writes = %d, want 3 generations", snap.CheckpointWrites)
+	}
+}
+
+// TestCheckpointPermanentFaultDegrades: a directory that becomes
+// unwritable mid-campaign (EACCES forever) must not stop the campaign —
+// it finishes, logs once, and the result is marked degraded.
+func TestCheckpointPermanentFaultDegrades(t *testing.T) {
+	b := mustBench(t, "dekker")
+	prog := b.Program(0)
+	opts := b.Options()
+	newStrategy := func() engine.Strategy { return C11Tester()(Estimate{}) }
+
+	ffs := &checkpoint.FaultFS{}
+	var logs []string
+	m := &telemetry.Metrics{}
+	spec := &CheckpointSpec{Dir: t.TempDir(), Every: 40, FS: ffs,
+		Logf: func(format string, args ...any) { logs = append(logs, fmt.Sprintf(format, args...)) }}
+	// First campaign lands its checkpoints, then the disk goes read-only.
+	res1 := RunCampaign(prog, b.Detect, newStrategy, 40, 5, opts,
+		Campaign{Workers: 1, Metrics: m, Checkpoint: spec, CheckpointCell: "warm"})
+	if res1.Durability == DurabilityDegraded {
+		t.Fatalf("healthy campaign marked degraded: %+v", res1)
+	}
+	ffs.SetPermanentError(errors.New("injected EACCES"))
+	res2 := RunCampaign(prog, b.Detect, newStrategy, 120, 5, opts,
+		Campaign{Workers: 2, Metrics: m, Checkpoint: spec, CheckpointCell: "cold"})
+	if res2.Runs != 120 {
+		t.Fatalf("degraded campaign did not finish: %d/120 trials", res2.Runs)
+	}
+	if res2.Durability != DurabilityDegraded || !spec.Degraded() {
+		t.Fatalf("permanent write failure not marked degraded: %+v", res2)
+	}
+	if len(logs) != 1 {
+		t.Fatalf("degradation logged %d times, want exactly once: %v", len(logs), logs)
+	}
+	if got := m.SnapshotAt(time.Now()).CheckpointDegraded; got != 1 {
+		t.Fatalf("CheckpointDegraded = %d, want 1", got)
+	}
+}
+
+// TestCheckpointTornWriteFallsBack: a torn newest generation (what a
+// SIGKILL or power cut mid-flush leaves when the rename already landed)
+// must not poison resume — the loader falls back to the previous good
+// generation and the campaign re-runs the lost chunk, finishing
+// bit-identical to an uninterrupted run.
+func TestCheckpointTornWriteFallsBack(t *testing.T) {
+	b := mustBench(t, "dekker")
+	prog := b.Program(0)
+	opts := b.Options()
+	newStrategy := func() engine.Strategy { return C11Tester()(Estimate{}) }
+	const runs, every, seed = 300, 50, 9
+
+	ref := RunCampaign(prog, b.Detect, newStrategy, runs, seed, opts, Campaign{Workers: 2})
+
+	dir := t.TempDir()
+	spec := &CheckpointSpec{Dir: dir, Every: every, killAfterChunks: 3}
+	killed := RunCampaign(prog, b.Detect, newStrategy, runs, seed, opts,
+		Campaign{Workers: 2, Checkpoint: spec})
+	if !killed.Interrupted {
+		t.Fatalf("kill hook did not fire: %+v", killed)
+	}
+	// Tear the newest generation on disk: half its bytes survive.
+	cells, err := os.ReadDir(dir)
+	if err != nil || len(cells) != 1 {
+		t.Fatalf("campaign cells = %v, %v", cells, err)
+	}
+	cellDir := filepath.Join(dir, cells[0].Name())
+	gens, err := os.ReadDir(cellDir)
+	if err != nil || len(gens) == 0 {
+		t.Fatalf("generations = %v, %v", gens, err)
+	}
+	newest := filepath.Join(cellDir, gens[len(gens)-1].Name())
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(newest, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m := &telemetry.Metrics{}
+	respec := &CheckpointSpec{Dir: dir, Every: every, Resume: true}
+	resumed := RunCampaign(prog, b.Detect, newStrategy, runs, seed, opts,
+		Campaign{Workers: 2, Metrics: m, Checkpoint: respec})
+	if resumed.ResumedRuns != 2*every {
+		t.Fatalf("resume did not fall back to generation 2: ResumedRuns = %d, want %d", resumed.ResumedRuns, 2*every)
+	}
+	if got := m.SnapshotAt(time.Now()).CheckpointCorrupt; got != 1 {
+		t.Fatalf("CheckpointCorrupt = %d, want 1", got)
+	}
+	requireIdentical(t, "post-fallback totals", comparableResult(resumed), comparableResult(ref))
+}
+
+// TestCheckpointBundleWritesHardened: repro-bundle writes inside a
+// checkpointed campaign ride the same fault-injectable filesystem and
+// retry policy as checkpoints.
+func TestCheckpointBundleWritesHardened(t *testing.T) {
+	b := mustBench(t, "dekker")
+	prog := b.Program(0)
+	opts := b.Options()
+	newStrategy := func() engine.Strategy { return C11Tester()(Estimate{}) }
+
+	dir := t.TempDir()
+	ffs := &checkpoint.FaultFS{}
+	ffs.FailWrites(1, errors.New("injected EIO"))
+	spec := &CheckpointSpec{Dir: filepath.Join(dir, "ckpt"), Every: 100, FS: ffs}
+	res := RunCampaign(prog, b.Detect, newStrategy, 100, 21, opts,
+		Campaign{Workers: 1, ReproDir: filepath.Join(dir, "repros"), MaxRepros: 100, Checkpoint: spec})
+	if len(res.Failures) == 0 {
+		t.Skip("no failures captured at this seed; nothing to assert")
+	}
+	for _, f := range res.Failures {
+		if f.BundlePath == "" {
+			t.Fatalf("bundle write not retried past transient fault: %+v", f)
+		}
+	}
+}

@@ -104,7 +104,19 @@ type TrialResult struct {
 	// engine.Options.Telemetry); nil otherwise. Totals are bit-identical
 	// between serial and parallel campaigns over the same seed set.
 	Telemetry *telemetry.EngineCounters
+	// ResumedRuns is how many of Runs were restored from a checkpoint
+	// rather than executed by this process (0 for fresh campaigns).
+	ResumedRuns int
+	// Durability is "" for a fully durable campaign and
+	// DurabilityDegraded when the checkpoint directory became unwritable
+	// mid-campaign: the campaign kept running, but its state and repro
+	// bundles may not all have reached disk.
+	Durability string
 }
+
+// DurabilityDegraded marks a campaign whose durable sinks failed
+// persistently (see Campaign.Checkpoint / CheckpointSpec.Degraded).
+const DurabilityDegraded = "degraded"
 
 // Rate returns the bug hitting rate in percent (the paper's metric).
 // Zero-guarded: an empty batch rates 0, never NaN (which would poison
@@ -170,6 +182,12 @@ func (r TrialResult) String() string {
 	}
 	if r.Nondeterministic > 0 {
 		s += fmt.Sprintf(", %d NONDETERMINISTIC", r.Nondeterministic)
+	}
+	if r.ResumedRuns > 0 {
+		s += fmt.Sprintf(", %d resumed", r.ResumedRuns)
+	}
+	if r.Durability == DurabilityDegraded {
+		s += ", durability DEGRADED"
 	}
 	if r.Stuck {
 		s += ", STUCK"

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pctwm/internal/checkpoint"
 	"pctwm/internal/engine"
 	"pctwm/internal/replay"
 	"pctwm/internal/telemetry"
@@ -89,6 +90,21 @@ type Campaign struct {
 	// registry (BenchTrialsCampaign and friends). Callers that pass
 	// explicit Options set Options.Model directly instead.
 	Model string
+	// Checkpoint, when non-nil with a Dir, arms the durable
+	// checkpoint/resume layer: the campaign runs in chunks and persists
+	// its cumulative state after each one (see CheckpointSpec). One spec
+	// is shared across all campaigns of a process.
+	Checkpoint *CheckpointSpec
+	// CheckpointCell disambiguates campaigns that share a program, seed,
+	// runs and model (e.g. different strategy columns of a bench matrix)
+	// inside the checkpoint directory. Ignored without Checkpoint.
+	CheckpointCell string
+
+	// sinkFS, when non-nil, routes repro-bundle writes through an
+	// injectable filesystem; set by the checkpointed campaign loop so
+	// every durable sink shares the spec's FS (chunks run with
+	// Checkpoint=nil and would otherwise lose it).
+	sinkFS checkpoint.FS
 }
 
 // defaultMaxRepros bounds bundle writing + flake triage when the caller
@@ -139,7 +155,21 @@ func RunTrialsPooled(prog *engine.Program, detect func(*engine.Outcome) bool,
 // TrialResult.Panics, and the worker's possibly-corrupted Runner and
 // strategy are replaced with fresh ones — one hostile trial never poisons
 // a sibling worker's trials or the rest of the worker's own rounds.
+//
+// With Campaign.Checkpoint armed the campaign additionally runs in
+// chunks, persisting its cumulative state after each one so a killed
+// process resumes with bit-identical totals (see CheckpointSpec).
 func RunCampaign(prog *engine.Program, detect func(*engine.Outcome) bool,
+	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options, camp Campaign) TrialResult {
+	if camp.Checkpoint != nil && camp.Checkpoint.Dir != "" && runs > 0 {
+		return runCheckpointedCampaign(prog, detect, newStrategy, runs, seed, opts, camp)
+	}
+	return runCampaignBatch(prog, detect, newStrategy, runs, seed, opts, camp)
+}
+
+// runCampaignBatch is the single-batch campaign loop shared by the plain
+// and checkpointed paths.
+func runCampaignBatch(prog *engine.Program, detect func(*engine.Outcome) bool,
 	newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options, camp Campaign) TrialResult {
 	var res TrialResult
 	if runs <= 0 {
@@ -192,7 +222,7 @@ func RunCampaign(prog *engine.Program, detect func(*engine.Outcome) bool,
 		}
 		sink = &reproSink{
 			prog: prog, newStrategy: newStrategy, opts: opts,
-			dir: camp.ReproDir, max: max,
+			dir: camp.ReproDir, max: max, fs: camp.sinkFS,
 			metrics: camp.Metrics, embedPerfetto: camp.EmbedPerfetto,
 		}
 	}
@@ -596,6 +626,10 @@ type reproSink struct {
 	opts        engine.Options
 	dir         string
 	max         int
+	// fs routes bundle writes through an injectable filesystem (nil =
+	// the real one); the checkpointed campaign loop sets it so bundle
+	// durability is hardened and fault-testable like checkpoints.
+	fs checkpoint.FS
 	// metrics, when non-nil, receives one ReproTriaged observation per
 	// written bundle. embedPerfetto makes the triage re-run record its
 	// execution graph and embeds it as a Chrome trace-event document.
@@ -703,7 +737,11 @@ func (s *reproSink) triage(seed int64, kind, msg string, orig replay.OutcomeSumm
 		}
 	}
 
-	path, err := bundle.WriteFile(s.dir)
+	sinkFS := s.fs
+	if sinkFS == nil {
+		sinkFS = checkpoint.OS
+	}
+	path, err := bundle.WriteFileFS(sinkFS, s.dir)
 	if err != nil {
 		fail.Msg += " [bundle write failed: " + err.Error() + "]"
 	} else {

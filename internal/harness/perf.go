@@ -177,6 +177,42 @@ func CompareSnapshots(old, new []EngineSnapshot) []SnapshotDelta {
 	return deltas
 }
 
+// SnapshotGaps names the cells present on only one side of a snapshot
+// comparison: missingFromOld lists "benchmark/strategy" cells the
+// candidate measured but the baseline lacks (e.g. an old
+// BENCH_engine.json recorded before explore cells existed), and
+// missingFromNew the reverse. CompareSnapshots skips one-sided cells
+// silently; callers use the gaps to report *which* cells were not
+// compared instead of a generic mismatch. Names appear in input order,
+// deduplicated.
+func SnapshotGaps(old, new []EngineSnapshot) (missingFromOld, missingFromNew []string) {
+	key := func(s EngineSnapshot) [2]string { return [2]string{s.Benchmark, s.Strategy} }
+	name := func(s EngineSnapshot) string { return s.Benchmark + "/" + s.Strategy }
+	oldIdx := make(map[[2]string]bool, len(old))
+	for _, s := range old {
+		oldIdx[key(s)] = true
+	}
+	newIdx := make(map[[2]string]bool, len(new))
+	for _, s := range new {
+		newIdx[key(s)] = true
+	}
+	seen := make(map[[2]string]bool)
+	for _, s := range new {
+		if !oldIdx[key(s)] && !seen[key(s)] {
+			seen[key(s)] = true
+			missingFromOld = append(missingFromOld, name(s))
+		}
+	}
+	seen = make(map[[2]string]bool)
+	for _, s := range old {
+		if !newIdx[key(s)] && !seen[key(s)] {
+			seen[key(s)] = true
+			missingFromNew = append(missingFromNew, name(s))
+		}
+	}
+	return missingFromOld, missingFromNew
+}
+
 // measureReps is the number of timed repetitions MeasureEngine performs.
 // Each repetition replays the identical seed sequence, so the repetitions
 // are the same computation measured under different ambient noise; the

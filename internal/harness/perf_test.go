@@ -53,6 +53,34 @@ func TestCompareSnapshots(t *testing.T) {
 	}
 }
 
+// TestSnapshotGaps: one-sided cells are reported by name — a baseline
+// missing a cell the candidate has (e.g. an old BENCH_engine.json
+// without explore cells) is named instead of silently skipped.
+func TestSnapshotGaps(t *testing.T) {
+	old := []EngineSnapshot{
+		snap("dekker", "c11tester", 200),
+		snap("seqlock", "pctwm", 150),
+		snap("seqlock", "pctwm", 150), // duplicate cell: reported once
+	}
+	fresh := []EngineSnapshot{
+		snap("dekker", "c11tester", 190),
+		snap("explore-litmus", "serial", 99),
+		snap("explore-litmus", "workers-8", 60),
+	}
+	missingFromOld, missingFromNew := SnapshotGaps(old, fresh)
+	wantOld := []string{"explore-litmus/serial", "explore-litmus/workers-8"}
+	wantNew := []string{"seqlock/pctwm"}
+	if len(missingFromOld) != len(wantOld) || missingFromOld[0] != wantOld[0] || missingFromOld[1] != wantOld[1] {
+		t.Errorf("missingFromOld = %v, want %v", missingFromOld, wantOld)
+	}
+	if len(missingFromNew) != 1 || missingFromNew[0] != wantNew[0] {
+		t.Errorf("missingFromNew = %v, want %v", missingFromNew, wantNew)
+	}
+	if a, b := SnapshotGaps(fresh, fresh); a != nil || b != nil {
+		t.Errorf("identical snapshots report gaps: %v %v", a, b)
+	}
+}
+
 func snapAllocs(bench, strat string, nsPerEvent, allocs float64) EngineSnapshot {
 	s := snap(bench, strat, nsPerEvent)
 	s.AllocsPerRun = allocs

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"pctwm/internal/checkpoint"
 	"pctwm/internal/engine"
 	"pctwm/internal/memmodel"
 )
@@ -256,23 +257,23 @@ func DecodeBundle(data []byte) (*Bundle, error) {
 // "<program>-<strategy>-seed<seed>.json" (name sanitized) and returns the
 // path. The directory is created if missing.
 func (b *Bundle) WriteFile(dir string) (string, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("replay: creating repro dir: %w", err)
-	}
+	return b.WriteFileFS(checkpoint.OS, dir)
+}
+
+// WriteFileFS is WriteFile through an explicit filesystem — the hardened
+// durable-sink path: directory creation, write-to-temp-then-rename (so a
+// SIGKILL mid-flush never leaves a torn bundle that a later pctwm-replay
+// chokes on), and bounded retry with exponential backoff on transient
+// write errors.
+func (b *Bundle) WriteFileFS(fsys checkpoint.FS, dir string) (string, error) {
 	name := fmt.Sprintf("%s-%s-seed%d.json", sanitizeName(b.Program), sanitizeName(b.Strategy), b.Seed)
 	path := filepath.Join(dir, name)
 	data, err := b.Encode()
 	if err != nil {
 		return "", fmt.Errorf("replay: encoding bundle: %w", err)
 	}
-	// Write-then-rename so a SIGKILL mid-flush never leaves a torn bundle
-	// that a later pctwm-replay chokes on.
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+	if err := checkpoint.WriteDurable(fsys, path, append(data, '\n'), nil); err != nil {
 		return "", fmt.Errorf("replay: writing bundle: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		return "", fmt.Errorf("replay: committing bundle: %w", err)
 	}
 	return path, nil
 }

@@ -66,15 +66,34 @@ type Config struct {
 	// whose bugs need weak behaviour report lower (or zero) rates under
 	// sc/tso, which is itself the cross-model sensitivity signal.
 	Model string
+	// Checkpoint, when non-nil, arms the durable checkpoint/resume layer
+	// for every trial batch: each batch periodically snapshots its
+	// cumulative state under the spec's directory (keyed by a per-call-site
+	// cell label plus program/seed/runs/model) and a rerun with
+	// Resume=true continues killed batches with bit-identical totals.
+	Checkpoint *harness.CheckpointSpec
 }
 
 // campaign maps the config onto the resilience knobs of one trial batch.
+// Checkpointing is NOT armed here: checkpointed batches must go through
+// campaignCell so every call site carries a unique cell label (several
+// sections run different strategies over the same program/seed/runs,
+// which would otherwise share a checkpoint identity).
 func (c Config) campaign() harness.Campaign {
 	return harness.Campaign{
 		Workers: c.Workers, Context: c.Context,
 		ReproDir: c.ReproDir, MaxRepros: c.MaxRepros,
 		Metrics: c.Metrics, Model: c.Model,
 	}
+}
+
+// campaignCell is campaign plus the checkpoint spec under the given
+// unique cell label.
+func (c Config) campaignCell(cell string) harness.Campaign {
+	camp := c.campaign()
+	camp.Checkpoint = c.Checkpoint
+	camp.CheckpointCell = cell
+	return camp
 }
 
 // phase marks the currently generating section on the metrics hub (no-op
@@ -157,7 +176,8 @@ func Table2(w io.Writer, cfg Config) error {
 		}
 		cells := make([]string, 3)
 		for i := 0; i < 3; i++ {
-			res, h := harness.BestOverHCampaign(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(17*i), cfg.campaign())
+			res, h := harness.BestOverHCampaign(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(17*i),
+				cfg.campaignCell(fmt.Sprintf("table2/%s/d%d", b.Name, b.Depth+i)))
 			cells[i] = fmt.Sprintf("%.1f (h:%d)", res.Rate(), h)
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\n", b.Name, b.Depth, cells[0], cells[1], cells[2])
@@ -185,7 +205,8 @@ func Table3(w io.Writer, cfg Config) error {
 		var est harness.Estimate
 		row := make([]string, 0, cfg.MaxH)
 		for h := 1; h <= cfg.MaxH; h++ {
-			res, e := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Table3Depth, h), cfg.Runs, cfg.Seed+int64(31*h), 0, cfg.campaign())
+			res, e := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Table3Depth, h), cfg.Runs, cfg.Seed+int64(31*h), 0,
+				cfg.campaignCell(fmt.Sprintf("table3/%s/h%d", b.Name, h)))
 			est = e
 			row = append(row, fmt.Sprintf("%.1f", res.Rate()))
 		}
@@ -251,7 +272,8 @@ func Figure5(w io.Writer, cfg Config) error {
 			tw.Flush()
 			return ErrInterrupted
 		}
-		c11, _ := harness.BenchTrialsCampaign(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0, cfg.campaign())
+		c11, _ := harness.BenchTrialsCampaign(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0,
+			cfg.campaignCell("figure5/"+b.Name+"/c11"))
 		bestPCT := 0.0
 		var bestWM harness.TrialResult
 		for i := 0; i < 3; i++ {
@@ -259,11 +281,13 @@ func Figure5(w io.Writer, cfg Config) error {
 			if d < 1 {
 				d = 1
 			}
-			res, _ := harness.BenchTrialsCampaign(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0, cfg.campaign())
+			res, _ := harness.BenchTrialsCampaign(b, harness.PCTFactory(d), cfg.Runs, cfg.Seed+int64(7*i), 0,
+				cfg.campaignCell(fmt.Sprintf("figure5/%s/pct-d%d", b.Name, i)))
 			if res.Rate() > bestPCT {
 				bestPCT = res.Rate()
 			}
-			wm, _ := harness.BestOverHCampaign(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i), cfg.campaign())
+			wm, _ := harness.BestOverHCampaign(b, b.Depth+i, cfg.MaxH, cfg.Runs, cfg.Seed+int64(13*i),
+				cfg.campaignCell(fmt.Sprintf("figure5/%s/pctwm-d%d", b.Name, i)))
 			if wm.Rate() > bestWM.Rate() || bestWM.Runs == 0 {
 				bestWM = wm
 			}
@@ -306,9 +330,12 @@ func Figure6(w io.Writer, cfg Config) error {
 				tw.Flush()
 				return ErrInterrupted
 			}
-			c11, _ := harness.BenchTrialsCampaign(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n, cfg.campaign())
-			pct, _ := harness.BenchTrialsCampaign(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n, cfg.campaign())
-			wm, _ := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n, cfg.campaign())
+			c11, _ := harness.BenchTrialsCampaign(b, harness.C11Tester(), cfg.Fig6Runs, cfg.Seed+int64(n), n,
+				cfg.campaignCell(fmt.Sprintf("figure6/%s/w%d/c11", b.Name, n)))
+			pct, _ := harness.BenchTrialsCampaign(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Fig6Runs, cfg.Seed+int64(2*n), n,
+				cfg.campaignCell(fmt.Sprintf("figure6/%s/w%d/pct", b.Name, n)))
+			wm, _ := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Depth, 1), cfg.Fig6Runs, cfg.Seed+int64(3*n), n,
+				cfg.campaignCell(fmt.Sprintf("figure6/%s/w%d/pctwm", b.Name, n)))
 			fmt.Fprintf(tw, "%d\t%.1f\t%.1f\t%.1f\n", n, c11.Rate(), pct.Rate(), wm.Rate())
 		}
 		if err := tw.Flush(); err != nil {
@@ -391,10 +418,14 @@ func Baselines(w io.Writer, cfg Config) error {
 			tw.Flush()
 			return ErrInterrupted
 		}
-		c11, est := harness.BenchTrialsCampaign(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0, cfg.campaign())
-		pos, _ := harness.BenchTrialsCampaign(b, harness.POSFactory(), cfg.Runs, cfg.Seed+1, 0, cfg.campaign())
-		pct, _ := harness.BenchTrialsCampaign(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Runs, cfg.Seed+2, 0, cfg.campaign())
-		wm, _ := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Depth, 1), cfg.Runs, cfg.Seed+3, 0, cfg.campaign())
+		c11, est := harness.BenchTrialsCampaign(b, harness.C11Tester(), cfg.Runs, cfg.Seed, 0,
+			cfg.campaignCell("baselines/"+b.Name+"/c11"))
+		pos, _ := harness.BenchTrialsCampaign(b, harness.POSFactory(), cfg.Runs, cfg.Seed+1, 0,
+			cfg.campaignCell("baselines/"+b.Name+"/pos"))
+		pct, _ := harness.BenchTrialsCampaign(b, harness.PCTFactory(maxInt(b.Depth, 1)), cfg.Runs, cfg.Seed+2, 0,
+			cfg.campaignCell("baselines/"+b.Name+"/pct"))
+		wm, _ := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Depth, 1), cfg.Runs, cfg.Seed+3, 0,
+			cfg.campaignCell("baselines/"+b.Name+"/pctwm"))
 		bound := 100 * core.PCTWMBound(est.KCom, b.Depth, 1)
 		fmt.Fprintf(tw, "%s\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.2f\n",
 			b.Name, b.Depth, c11.Rate(), pos.Rate(), pct.Rate(), wm.Rate(), bound)
@@ -424,7 +455,8 @@ func Ablations(w io.Writer, cfg Config) error {
 			factory := func(est harness.Estimate) engine.Strategy {
 				return core.NewAblatedPCTWM(b.Depth, 1, est.KCom, m)
 			}
-			res, _ := harness.BenchTrialsCampaign(b, factory, cfg.Runs, cfg.Seed+int64(41*i), 0, cfg.campaign())
+			res, _ := harness.BenchTrialsCampaign(b, factory, cfg.Runs, cfg.Seed+int64(41*i), 0,
+				cfg.campaignCell(fmt.Sprintf("ablation/%s/m%d", b.Name, i)))
 			row = append(row, fmt.Sprintf("%.1f", res.Rate()))
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%s\n", b.Name, b.Depth, strings.Join(row, "\t"))
@@ -448,7 +480,7 @@ func Telemetry(w io.Writer, cfg Config) error {
 			tw.Flush()
 			return ErrInterrupted
 		}
-		camp := cfg.campaign()
+		camp := cfg.campaignCell("telemetry/" + b.Name)
 		camp.Telemetry = true
 		res, _ := harness.BenchTrialsCampaign(b, harness.PCTWMFactory(b.Depth, 1), cfg.Runs, cfg.Seed, 0, camp)
 		if res.Telemetry == nil {

@@ -44,6 +44,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "pctwm_repro_bundles_total{triage=\"nondeterministic\"} %d\n", s.ReproNondet)
 	fmt.Fprintf(w, "pctwm_repro_bundles_total{triage=\"skipped\"} %d\n", s.ReproSkipped)
 
+	counter("pctwm_checkpoint_writes_total", "Checkpoint generations committed to durable storage.", s.CheckpointWrites)
+	counter("pctwm_checkpoint_retries_total", "Durable-write retries after transient filesystem errors.", s.CheckpointRetries)
+	counter("pctwm_checkpoint_corrupt_recoveries_total", "Checkpoint loads that fell back past a corrupt generation.", s.CheckpointCorrupt)
+	counter("pctwm_checkpoint_degraded_total", "Campaigns that stopped writing durably (directory unwritable).", s.CheckpointDegraded)
+
 	gauge("pctwm_trials_per_second", "Campaign-wide trial completion rate.", s.TrialsPerSec)
 	gauge("pctwm_worker_count", "Campaign workers currently running trials.", float64(s.Workers))
 	gauge("pctwm_worker_utilization_ratio", "Fraction of worker time spent inside trials.", s.WorkerUtilization)

@@ -91,6 +91,11 @@ type Metrics struct {
 	reproNondeterministic atomic.Uint64
 	reproSkipped          atomic.Uint64
 
+	checkpointWrites   atomic.Uint64 // committed checkpoint generations
+	checkpointRetries  atomic.Uint64 // durable-write retries after transient errors
+	checkpointCorrupt  atomic.Uint64 // loads that recovered past a corrupt generation
+	checkpointDegraded atomic.Uint64 // campaigns that gave up on durable writes
+
 	workers atomic.Int64  // workers currently running trials
 	busyNs  atomic.Uint64 // cumulative worker busy time (trial durations)
 
@@ -194,6 +199,18 @@ func (m *Metrics) ReproTriaged(verdict string) {
 	}
 }
 
+// CheckpointWritten, CheckpointRetried, CheckpointCorruptRecovered and
+// CheckpointDegraded are the durable-sink observations (the
+// checkpoint.Observer surface — kept signature-compatible without
+// importing the checkpoint package): committed generations, transient
+// write retries, loads that fell back past a corrupt generation, and
+// campaigns that stopped writing durably after the directory became
+// unwritable.
+func (m *Metrics) CheckpointWritten()          { m.checkpointWrites.Add(1) }
+func (m *Metrics) CheckpointRetried()          { m.checkpointRetries.Add(1) }
+func (m *Metrics) CheckpointCorruptRecovered() { m.checkpointCorrupt.Add(1) }
+func (m *Metrics) CheckpointDegraded()         { m.checkpointDegraded.Add(1) }
+
 // MergeEngine folds a worker's EngineCounters into the campaign-wide
 // merged totals. Called at trial-batch boundaries, never on the hot
 // path. Merging is commutative, so totals are independent of worker
@@ -235,6 +252,11 @@ type Snapshot struct {
 	ReproDet     uint64  `json:"repro_deterministic"`
 	ReproNondet  uint64  `json:"repro_nondeterministic"`
 	ReproSkipped uint64  `json:"repro_skipped"`
+
+	CheckpointWrites   uint64 `json:"checkpoint_writes"`
+	CheckpointRetries  uint64 `json:"checkpoint_retries"`
+	CheckpointCorrupt  uint64 `json:"checkpoint_corrupt_recoveries"`
+	CheckpointDegraded uint64 `json:"checkpoint_degraded"`
 
 	Workers           int64   `json:"workers"`
 	WorkerUtilization float64 `json:"worker_utilization"`
@@ -317,6 +339,11 @@ func (m *Metrics) SnapshotAt(now time.Time) Snapshot {
 		ReproDet:     m.reproDeterministic.Load(),
 		ReproNondet:  m.reproNondeterministic.Load(),
 		ReproSkipped: m.reproSkipped.Load(),
+
+		CheckpointWrites:   m.checkpointWrites.Load(),
+		CheckpointRetries:  m.checkpointRetries.Load(),
+		CheckpointCorrupt:  m.checkpointCorrupt.Load(),
+		CheckpointDegraded: m.checkpointDegraded.Load(),
 
 		Workers:           workers,
 		WorkerUtilization: util,
