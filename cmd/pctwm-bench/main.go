@@ -8,6 +8,7 @@
 //	            [-repro-dir DIR [-max-repros N]]
 //	            [-checkpoint-dir DIR [-checkpoint-every N]] [-resume DIR]
 //	            [-metrics-addr ADDR] [-pprof-addr ADDR] [-progress] [-telemetry]
+//	            [-coverage]
 //	            [-json] [-compare FILE [-max-regress PCT] [-max-allocs-regress PCT]]
 //	            [-explore] [-engine.baton]
 //
@@ -20,6 +21,15 @@
 // /metrics, JSON on /metrics.json, expvar on /debug/vars); -pprof-addr
 // serves net/http/pprof (workers run under pprof labels); -progress
 // prints a periodic one-line status to stderr.
+// -coverage fingerprints every complete trial's behavior
+// (internal/coverage) and prints a per-cell saturation digest to stderr
+// — distinct behaviors, the Good–Turing estimate of the unseen mass,
+// the Chao1 richness bound, and the trial index of the last novelty;
+// with -progress the live status line gains `behaviors=N est_unseen=p%`,
+// and with -metrics-addr the endpoint exports
+// pctwm_coverage_behaviors_total and pctwm_coverage_unseen_mass. With
+// -coverage the repro sink also dedupes by behavior: the -max-repros
+// budget is spent on distinct behavior fingerprints, not raw failures.
 // -repro-dir arms the campaign repro sink: the first -max-repros failing
 // trials per cell are flake-triaged and written as replayable JSON
 // bundles under DIR (see pctwm-replay). -json switches to the
@@ -65,6 +75,7 @@ import (
 
 	"pctwm/internal/benchprog"
 	"pctwm/internal/core"
+	"pctwm/internal/coverage"
 	"pctwm/internal/engine"
 	"pctwm/internal/harness"
 	"pctwm/internal/litmus"
@@ -94,6 +105,7 @@ func main() {
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address")
 		progress    = flag.Bool("progress", false, "print a periodic one-line campaign status to stderr")
 		telFlag     = flag.Bool("telemetry", false, "collect engine counters per cell (stderr summary; embedded in -json snapshots)")
+		covFlag     = flag.Bool("coverage", false, "fingerprint each trial's behavior and report per-cell coverage/saturation (implies telemetry collection)")
 		model       = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso")
 	)
 	flag.Parse()
@@ -172,6 +184,11 @@ func main() {
 		opts := b.Options()
 		opts.Baton = *baton
 		opts.Model = *model
+		// -coverage also applies to the -json/-compare measurement paths,
+		// so the bench gate can bound the fingerprinting overhead and the
+		// allocs gate can verify the hot path stays allocation-free with
+		// the accumulator armed.
+		opts.Coverage = *covFlag
 		return opts
 	}
 
@@ -249,13 +266,16 @@ func main() {
 			camp := harness.Campaign{
 				Workers: *workers, Context: ctx,
 				ReproDir: *reproDir, MaxRepros: *maxRepros,
-				Metrics: metrics, Telemetry: *telFlag,
+				Metrics: metrics, Telemetry: *telFlag, Coverage: *covFlag,
 				Checkpoint: spec, CheckpointCell: b.Name + "/" + c.name,
 			}
 			res := harness.RunCampaign(prog, b.Detect, newStrategy, *runs, *seed+int64(10*i), opts, camp)
 			bundles += reportFailures(b.Name, c.name, res)
 			if *telFlag && res.Telemetry != nil {
 				reportTelemetry(b.Name, c.name, res.Telemetry)
+			}
+			if *covFlag && res.Coverage != nil {
+				reportCoverage(b.Name, c.name, res.Coverage)
 			}
 			interrupted = interrupted || res.Interrupted
 			lo, hi := res.CI95()
@@ -302,6 +322,16 @@ func reportFailures(bench, strategy string, res harness.TrialResult) int {
 			bench, strategy, res.Panics)
 	}
 	return n
+}
+
+// reportCoverage prints one cell's behavior-coverage digest to stderr.
+// The set is merged deterministically, so the numbers are identical for
+// every -workers setting and across kill/-resume boundaries.
+func reportCoverage(bench, strategy string, set *coverage.Set) {
+	st := set.Stats()
+	fmt.Fprintf(os.Stderr,
+		"pctwm-bench: coverage %s/%s: %d behavior(s) in %d trial(s), est_unseen %.2f%%, chao1 %.1f, last novel at trial %d\n",
+		bench, strategy, st.Behaviors, st.Observations, 100*st.UnseenMass, st.Chao1, st.LastNovel)
 }
 
 // reportTelemetry prints one cell's merged engine-counter digest to

@@ -6,8 +6,16 @@
 //	pctwm-experiments [-quick] [-runs N] [-fig6runs N] [-perfruns N] [-seed S] [-workers N]
 //	                  [-repro-dir DIR [-max-repros N]]
 //	                  [-checkpoint-dir DIR [-checkpoint-every N]] [-resume DIR]
-//	                  [-metrics-addr ADDR] [-pprof-addr ADDR] [-progress]
-//	                  [-section all|table1|table2|table3|table4|figure5|figure6|telemetry|...]
+//	                  [-metrics-addr ADDR] [-pprof-addr ADDR] [-progress] [-coverage]
+//	                  [-section all|table1|table2|table3|table4|figure5|figure6|coverage|coveragecsv|telemetry|...]
+//
+// -coverage fingerprints every complete trial's behavior
+// (internal/coverage) across all sections: with -progress the status
+// line gains `behaviors=N est_unseen=p%`, the metrics endpoint exports
+// pctwm_coverage_behaviors_total / pctwm_coverage_unseen_mass, and the
+// repro sink spends its -max-repros budget on distinct behaviors. The
+// coverage/coveragecsv sections (behavior census vs. campaign
+// saturation on litmus programs) fingerprint regardless of the flag.
 //
 // The default configuration uses the paper's experiment sizes (1000
 // rounds per table configuration, 500 per Figure 6 point, 10 timed runs
@@ -64,6 +72,7 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve campaign metrics on this address (/metrics Prometheus, /metrics.json, /debug/vars)")
 		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address")
 		progress    = flag.Bool("progress", false, "print a periodic one-line campaign status to stderr")
+		covFlag     = flag.Bool("coverage", false, "fingerprint each trial's behavior in every section's campaigns (progress line gains behaviors/est_unseen; repro bundles dedupe by behavior)")
 		model       = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso (the paper's tables are defined for rc11)")
 	)
 	flag.Parse()
@@ -105,6 +114,7 @@ func main() {
 	cfg.ReproDir = *reproDir
 	cfg.MaxRepros = *maxRepros
 	cfg.Model = *model
+	cfg.Coverage = *covFlag
 
 	// -resume is -checkpoint-dir plus loading whatever good generations
 	// already exist; both at once must agree on the directory.
@@ -168,6 +178,7 @@ func main() {
 		"ablation":     report.Ablations,
 		"baselines":    report.Baselines,
 		"coverage":     report.Coverage,
+		"coveragecsv":  report.CoverageCSV,
 		"figure5csv":   report.Figure5CSV,
 		"figure6csv":   report.Figure6CSV,
 		"telemetry":    report.Telemetry,

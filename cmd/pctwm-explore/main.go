@@ -9,6 +9,13 @@
 //	pctwm-explore -limit 100000   # cap the exploration
 //	pctwm-explore -engine.model tso   # exhaust the x86-TSO state space
 //	pctwm-explore -workers 8      # shard subtrees across 8 workers
+//	pctwm-explore -census FILE    # also write the behavior census (JSON)
+//
+// -census additionally enumerates each explored test's ground-truth
+// behavior census — every distinct behavior fingerprint any schedule
+// can realize (internal/coverage canonicalization) — and writes them as
+// a JSON array. A saturated `pctwm-bench -coverage` campaign must
+// reproduce exactly this fingerprint set (pctwm-bench -census verifies).
 //
 // Exploration shards disjoint decision-tree subtrees across -workers
 // pooled engine runners (0 = GOMAXPROCS); outcome counts are merged
@@ -23,6 +30,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,6 +52,7 @@ func main() {
 		model   = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso")
 		workers = flag.Int("workers", 0, "exploration workers (0 = GOMAXPROCS, 1 = serial; results identical)")
 		stats   = flag.Bool("stats", false, "print explorer telemetry (runs/steals/pruned) per test")
+		census  = flag.String("census", "", "write the ground-truth behavior census of the explored tests to this JSON file")
 	)
 	flag.IntVar(workers, "explore.workers", 0, "alias for -workers")
 	flag.Parse()
@@ -82,6 +91,7 @@ func main() {
 
 	failures := 0
 	interrupted := false
+	var censuses []*enumerate.Census
 	for _, lt := range suite {
 		var tel telemetry.EngineCounters
 		opts := engine.Options{Baton: *baton, Model: *model}
@@ -134,12 +144,34 @@ func main() {
 				fmt.Printf("  forbidden %q: unreachable ✓\n", f)
 			}
 		}
+		if *census != "" && !interrupted {
+			c, err := enumerate.BehaviorCensus(lt.Program, opts,
+				enumerate.Config{Limit: *limit, Workers: *workers, Context: ctx})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pctwm-explore: %s: census: %v\n", lt.Name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("  census: %d distinct behavior(s), complete=%v\n", len(c.Behaviors), c.Complete)
+			censuses = append(censuses, c)
+		}
 		fmt.Println()
 		if interrupted {
 			// The context stays canceled; later tests would all report
 			// zero executions. Stop after draining this one.
 			break
 		}
+	}
+	if *census != "" && !interrupted {
+		data, err := json.MarshalIndent(censuses, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pctwm-explore: encoding census: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*census, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "pctwm-explore: writing census: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("census: %d test(s) written to %s\n", len(censuses), *census)
 	}
 	if interrupted {
 		fmt.Fprintln(os.Stderr, "pctwm-explore: interrupted; partial results printed")

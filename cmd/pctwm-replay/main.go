@@ -17,7 +17,10 @@
 // built-in registries (benchmarks, litmus tests, applications) and
 // fingerprint-checked (thread and location counts) before the replay, so
 // a bundle recorded against a different build of the program is rejected
-// instead of silently derailing. -extra-writes rebuilds benchmark
+// instead of silently derailing. Version-3 bundles also record the
+// behavior fingerprint (internal/coverage) of the original failing
+// trial; a deterministic bundle whose replay produces a different
+// fingerprint is reported as diverged. -extra-writes rebuilds benchmark
 // programs with the Figure-6 inserted relaxed writes, matching campaigns
 // that ran with them.
 //
@@ -143,16 +146,22 @@ func replayBundle(path string, extraWrites int, verbose bool, perfDir, wantModel
 		fmt.Fprintf(os.Stderr, "pctwm-replay: %s: %v\n", path, err)
 		return 2
 	}
+	// v3 bundles carry the behavior fingerprint the campaign recorded;
+	// name it in the verdict so dedupe decisions can be audited by hand.
+	var fp string
+	if b.BehaviorFP != 0 {
+		fp = fmt.Sprintf(", behavior %#x", b.BehaviorFP)
+	}
 	if res.Match {
-		fmt.Printf("%s: %s %s seed=%d: REPRODUCED (%d steps, triage %s)\n",
-			path, b.Program, b.Strategy, b.Seed, res.Summary.Steps, b.Triage)
+		fmt.Printf("%s: %s %s seed=%d: REPRODUCED (%d steps, triage %s%s)\n",
+			path, b.Program, b.Strategy, b.Seed, res.Summary.Steps, b.Triage, fp)
 		if verbose {
 			printSummary(res.Summary)
 		}
 		return 0
 	}
-	fmt.Printf("%s: %s %s seed=%d: DIVERGED (derails=%d, triage %s)\n",
-		path, b.Program, b.Strategy, b.Seed, res.Derails, b.Triage)
+	fmt.Printf("%s: %s %s seed=%d: DIVERGED (derails=%d, triage %s%s)\n",
+		path, b.Program, b.Strategy, b.Seed, res.Derails, b.Triage, fp)
 	for _, d := range res.Diffs {
 		fmt.Printf("  diff %s\n", d)
 	}

@@ -1,0 +1,77 @@
+package coverage
+
+import (
+	"math/rand"
+	"testing"
+
+	"pctwm/internal/memmodel"
+)
+
+// FuzzFingerprintOrderInvariance drives the canonicalizer with
+// arbitrary event batches: any observation order that registers a read's
+// reads-from source before the read (here: all writes before all reads,
+// each group in any permutation) must produce the identical fingerprint,
+// and repeated finalization of the same batch must be deterministic.
+// Event ids are deliberately assigned in decode order, so permuting the
+// observation order exercises the out-of-order id-table growth path.
+func FuzzFingerprintOrderInvariance(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x00, 0x07, 0x00, 0x01, 0x01, 0x03}, uint64(1))
+	f.Add([]byte{0xff, 0x00, 0x01, 0x00}, uint64(42))
+	f.Add([]byte{}, uint64(0))
+	f.Fuzz(func(t *testing.T, data []byte, permSeed uint64) {
+		const staticLocs = 3
+		var writes, reads []*memmodel.Event
+		nextIndex := map[memmodel.ThreadID]int{}
+		for i := 0; i+4 <= len(data) && i < 4*64; i += 4 {
+			b := data[i : i+4]
+			tid := memmodel.ThreadID(1 + b[1]%4)
+			index := nextIndex[tid]
+			nextIndex[tid]++
+			loc := memmodel.Loc(b[2] % staticLocs)
+			id := memmodel.EventID(staticLocs + len(writes) + len(reads))
+			if b[0]&1 == 0 {
+				writes = append(writes,
+					mkWrite(id, tid, index, loc, memmodel.Value(b[3]), memmodel.TS(2+len(writes))))
+			} else {
+				// Read from an initialization write or any write decoded
+				// so far — both are registered before the reads pass.
+				pick := int(b[3]) % (staticLocs + len(writes))
+				src := memmodel.EventID(pick)
+				if pick >= staticLocs {
+					src = writes[pick-staticLocs].ID
+				}
+				reads = append(reads, mkRead(id, tid, index, loc, src))
+			}
+		}
+		finals := []memmodel.Value{0, 0, 0}
+
+		observe := func(order []*memmodel.Event) uint64 {
+			var a Accumulator
+			a.Reset("rc11", staticLocs)
+			for _, ev := range order {
+				a.Observe(ev)
+			}
+			for _, v := range finals {
+				a.PushFinal(v)
+			}
+			return a.Finalize()
+		}
+		canonical := append(append([]*memmodel.Event{}, writes...), reads...)
+		ref := observe(canonical)
+		if again := observe(canonical); again != ref {
+			t.Fatalf("fingerprint not deterministic: %#x vs %#x", again, ref)
+		}
+
+		rng := rand.New(rand.NewSource(int64(permSeed)))
+		for round := 0; round < 4; round++ {
+			pw := append([]*memmodel.Event{}, writes...)
+			pr := append([]*memmodel.Event{}, reads...)
+			rng.Shuffle(len(pw), func(i, j int) { pw[i], pw[j] = pw[j], pw[i] })
+			rng.Shuffle(len(pr), func(i, j int) { pr[i], pr[j] = pr[j], pr[i] })
+			if got := observe(append(pw, pr...)); got != ref {
+				t.Fatalf("round %d: permuted observation order changed the fingerprint: %#x vs %#x",
+					round, got, ref)
+			}
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"pctwm/internal/coverage"
 	"pctwm/internal/memmodel"
 	"pctwm/internal/race"
 	"pctwm/internal/telemetry"
@@ -108,6 +109,11 @@ type Engine struct {
 	// protocols and worker counts.
 	tel         *telemetry.EngineCounters
 	lastGranted *Thread
+
+	// cov is the behavior-fingerprint accumulator (Options.Coverage);
+	// nil when coverage is off, so the finishEvent hook costs one
+	// predictable branch. Its scratch is reused across runs.
+	cov *coverage.Accumulator
 
 	// Watchdog state (cancellation + wall-clock bound), refreshed per run
 	// by reset. watchdogOn gates the hot path: when neither a Context nor
@@ -265,6 +271,12 @@ func (e *Engine) reset(strat Strategy, seed int64) {
 		e.tel.Model = e.opts.Model
 	}
 	e.lastGranted = nil
+	if e.opts.Coverage {
+		if e.cov == nil {
+			e.cov = new(coverage.Accumulator)
+		}
+		e.cov.Reset(e.opts.Model, len(e.prog.locs))
+	}
 	e.ctxDone = nil
 	if e.opts.Context != nil {
 		e.ctxDone = e.opts.Context.Done()
@@ -327,6 +339,19 @@ func (e *Engine) finalize() {
 		}
 	}
 	e.outcome.FinalValues = e.finalValues()
+	if e.cov != nil {
+		// The fingerprint's final-value vector mirrors finalValues: the
+		// mo-maximal value of every static location in declaration
+		// order (zero for the never-written slots of a cut-short run).
+		for i := range e.prog.locs {
+			var v memmodel.Value
+			if i < len(e.locs) && len(e.locs[i].mo) > 0 {
+				v = e.model.finalValue(i, &e.locs[i])
+			}
+			e.cov.PushFinal(v)
+		}
+		e.outcome.BehaviorFP = e.cov.Finalize()
+	}
 	if e.tel != nil {
 		e.tel.Trials++
 	}

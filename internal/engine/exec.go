@@ -72,6 +72,9 @@ func (e *Engine) finishEvent(t *Thread, ev *memmodel.Event) {
 	if e.tel != nil {
 		e.tel.CountOp(ev.Label.Kind, ev.Label.Order)
 	}
+	if e.cov != nil {
+		e.cov.Observe(ev)
+	}
 	e.record(ev)
 	e.strat.OnEvent(ev)
 }

@@ -120,6 +120,12 @@ type Outcome struct {
 	// Outcomes of the same Runner that ended in the same final state share
 	// one interned map; treat it as read-only.
 	FinalValues map[string]memmodel.Value
+	// BehaviorFP is the run's canonical behavior fingerprint (final
+	// values + reads-from pairs + modification orders, see
+	// internal/coverage), computed when Options.Coverage is set; 0
+	// otherwise. Complete executions with equal fingerprints exhibited
+	// the same behavior regardless of schedule.
+	BehaviorFP uint64
 	// Recording is non-nil when Options.Record was set.
 	Recording *Recording
 	// Duration is the wall-clock time of the run's execution phase:
@@ -200,6 +206,13 @@ type Options struct {
 	DetectRaces bool
 	// MaxRaces caps the number of reported races (default 16).
 	MaxRaces int
+	// Coverage computes a canonical behavior fingerprint per run
+	// (Outcome.BehaviorFP) from a per-Runner scratch accumulator. The
+	// hook is allocation-free in steady state and costs a few percent of
+	// per-event time; when false the hot path pays one nil check. The
+	// field is serialized so repro bundles record whether their outcome
+	// summaries carry fingerprints.
+	Coverage bool `json:"coverage,omitempty"`
 	// Telemetry, when non-nil, receives per-execution engine counters (op
 	// kind/order matrix, handoffs vs same-thread grants, rf candidate-bag
 	// sizes, change-point depths, race checks). The counters use plain

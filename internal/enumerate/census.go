@@ -1,0 +1,122 @@
+package enumerate
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+	"strconv"
+
+	"pctwm/internal/engine"
+)
+
+// censusErrKey classifies leaves that ended in an engine error (step-
+// limit aborts, deadlocks, stalls): they are complete schedules but
+// carry no behavior fingerprint — the harness skips the same runs when
+// accumulating campaign coverage — so the census counts them separately
+// instead of polluting the behavior set.
+const censusErrKey = "err"
+
+// censusKey classifies one leaf by its behavior fingerprint (hex).
+func censusKey(o *engine.Outcome) string {
+	if o.Err != nil {
+		return censusErrKey
+	}
+	return strconv.FormatUint(o.BehaviorFP, 16)
+}
+
+// CensusEntry is one distinct behavior in a census: its fingerprint and
+// the number of decision-tree leaves (complete executions) realizing it.
+type CensusEntry struct {
+	FP     uint64 `json:"fp"`
+	Leaves int    `json:"leaves"`
+}
+
+// Census is the exhaustive explorer's ground-truth behavior census of a
+// program under one memory model: every distinct behavior fingerprint
+// reachable by any scheduling and reads-from choice. A saturated
+// randomized campaign's coverage.Set must contain exactly these
+// fingerprints — the cross-validation the coverage tests and the CI
+// smoke job pin.
+type Census struct {
+	Program string `json:"program"`
+	Model   string `json:"model"`
+	// Complete is false when the run limit or a cancellation cut the
+	// enumeration short; an incomplete census is a lower bound only.
+	Complete bool `json:"complete"`
+	// Runs is the number of executions enumerated (including skipped).
+	Runs int `json:"runs"`
+	// Skipped counts leaves that ended in an engine error and therefore
+	// carry no behavior.
+	Skipped int `json:"skipped,omitempty"`
+	// Behaviors lists the distinct behaviors sorted by fingerprint.
+	Behaviors []CensusEntry `json:"behaviors"`
+}
+
+// BehaviorCensus exhaustively enumerates p under opts and returns the
+// ground-truth behavior census. Coverage is forced on (the fingerprint
+// is the classification key); limit and worker count come from cfg, and
+// the result is bit-identical at any worker count. Drift (a
+// nondeterministic program) aborts with an error.
+func BehaviorCensus(p *engine.Program, opts engine.Options, cfg Config) (*Census, error) {
+	opts.Coverage = true
+	counts, res := Outcomes(p, opts, cfg, censusKey)
+	if res.Drift != nil {
+		return nil, res.Drift
+	}
+	model := opts.Model
+	if model == "" {
+		model = engine.ModelRC11
+	}
+	c := &Census{
+		Program:  p.Name(),
+		Model:    model,
+		Complete: res.Complete && !res.Interrupted,
+		Runs:     res.Runs,
+	}
+	for k, n := range counts {
+		if k == censusErrKey {
+			c.Skipped = n
+			continue
+		}
+		fp, err := strconv.ParseUint(k, 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("enumerate: internal: bad census key %q: %w", k, err)
+		}
+		c.Behaviors = append(c.Behaviors, CensusEntry{FP: fp, Leaves: n})
+	}
+	slices.SortFunc(c.Behaviors, func(a, b CensusEntry) int {
+		switch {
+		case a.FP < b.FP:
+			return -1
+		case a.FP > b.FP:
+			return 1
+		}
+		return 0
+	})
+	return c, nil
+}
+
+// Fingerprints returns the census's sorted distinct fingerprints —
+// directly comparable (slices.Equal) against coverage.Set.Fingerprints.
+func (c *Census) Fingerprints() []uint64 {
+	out := make([]uint64, 0, len(c.Behaviors))
+	for _, e := range c.Behaviors {
+		out = append(out, e.FP)
+	}
+	return out
+}
+
+// Encode renders the census as indented JSON (entries are already
+// fingerprint-sorted, so equal censuses encode byte-identically).
+func (c *Census) Encode() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// DecodeCensus parses a census written by Encode.
+func DecodeCensus(data []byte) (*Census, error) {
+	var c Census
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("enumerate: decoding census: %w", err)
+	}
+	return &c, nil
+}

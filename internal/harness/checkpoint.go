@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"pctwm/internal/checkpoint"
+	"pctwm/internal/coverage"
 	"pctwm/internal/engine"
 	"pctwm/internal/telemetry"
 )
@@ -180,6 +181,7 @@ type campaignState struct {
 	Nondeterministic int                       `json:"nondeterministic"`
 	Failures         []TrialFailure            `json:"failures,omitempty"`
 	Telemetry        *telemetry.EngineCounters `json:"telemetry,omitempty"`
+	Coverage         *coverage.Set             `json:"coverage,omitempty"`
 }
 
 // newCampaignState snapshots the cumulative result at a chunk boundary.
@@ -208,6 +210,7 @@ func newCampaignState(key campaignKey, cum *TrialResult, next int, complete bool
 		tel.ChangePoints = nil
 		st.Telemetry = &tel
 	}
+	st.Coverage = cum.Coverage
 	return st
 }
 
@@ -226,6 +229,7 @@ func (st *campaignState) restore(cum *TrialResult) {
 	cum.Nondeterministic = st.Nondeterministic
 	cum.Failures = st.Failures
 	cum.Telemetry = st.Telemetry
+	cum.Coverage = st.Coverage
 	cum.ResumedRuns = st.NextTrial
 }
 
@@ -254,6 +258,15 @@ func mergeCheckpointChunk(cum *TrialResult, chunk TrialResult) {
 		} else {
 			cum.Telemetry.ChangePoints = keepCPs
 		}
+	}
+	if chunk.Coverage != nil {
+		if cum.Coverage == nil {
+			cum.Coverage = &coverage.Set{}
+		}
+		// Chunk trial indices are already campaign-global (the loop sets
+		// Campaign.trialBase per chunk), so the merge is the same
+		// order-insensitive fold the parallel workers use.
+		cum.Coverage.Merge(chunk.Coverage)
 	}
 }
 
@@ -337,6 +350,20 @@ func runCheckpointedCampaign(prog *engine.Program, detect func(*engine.Outcome) 
 		inner.CheckpointCell = ""
 		inner.Telemetry = collect
 		inner.sinkFS = spec.fsys()
+		// Coverage novelty is keyed by campaign-global trial indices: the
+		// chunk's workers offset their local indices by the chunk start,
+		// so a resumed campaign's coverage curve continues seamlessly.
+		inner.trialBase = int64(at)
+		if camp.Coverage {
+			// Seed the chunk's repro dedupe with the behaviors already
+			// bundled (restored from the checkpoint or earlier chunks).
+			inner.reproSeen = nil
+			for _, f := range cum.Failures {
+				if f.BehaviorFP != 0 {
+					inner.reproSeen = append(inner.reproSeen, f.BehaviorFP)
+				}
+			}
+		}
 		if camp.ReproDir != "" {
 			// The repro budget is global across chunks and sessions: the
 			// restored failure list counts against it, so a resumed campaign

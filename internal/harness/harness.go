@@ -15,6 +15,7 @@ import (
 
 	"pctwm/internal/benchprog"
 	"pctwm/internal/core"
+	"pctwm/internal/coverage"
 	"pctwm/internal/engine"
 	"pctwm/internal/stats"
 	"pctwm/internal/telemetry"
@@ -104,6 +105,12 @@ type TrialResult struct {
 	// engine.Options.Telemetry); nil otherwise. Totals are bit-identical
 	// between serial and parallel campaigns over the same seed set.
 	Telemetry *telemetry.EngineCounters
+	// Coverage is the campaign's merged behavior set (Campaign.Coverage):
+	// every complete trial's fingerprint with first-seen trial indices,
+	// counts and change-point-depth attribution. Like Telemetry it is
+	// bit-identical for every worker count and across kill/resume
+	// (entries key novelty by the campaign-global trial index).
+	Coverage *coverage.Set
 	// ResumedRuns is how many of Runs were restored from a checkpoint
 	// rather than executed by this process (0 for fresh campaigns).
 	ResumedRuns int
@@ -182,6 +189,9 @@ func (r TrialResult) String() string {
 	}
 	if r.Nondeterministic > 0 {
 		s += fmt.Sprintf(", %d NONDETERMINISTIC", r.Nondeterministic)
+	}
+	if r.Coverage != nil {
+		s += fmt.Sprintf(", %d behavior(s)", r.Coverage.Len())
 	}
 	if r.ResumedRuns > 0 {
 		s += fmt.Sprintf(", %d resumed", r.ResumedRuns)

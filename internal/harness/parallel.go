@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pctwm/internal/checkpoint"
+	"pctwm/internal/coverage"
 	"pctwm/internal/engine"
 	"pctwm/internal/replay"
 	"pctwm/internal/telemetry"
@@ -75,6 +76,14 @@ type Campaign struct {
 	// set), and Metrics. Collection is also implied by a non-nil
 	// engine.Options.Telemetry.
 	Telemetry bool
+	// Coverage enables behavioral coverage: every trial's engine computes
+	// a canonical behavior fingerprint (engine.Options.Coverage), each
+	// worker folds complete trials into a private coverage.Set shard, and
+	// the shards merge into TrialResult.Coverage. Coverage implies
+	// telemetry collection (the per-trial change-point count attributes
+	// each first discovery to the depth that found it). The merged set is
+	// bit-identical for every worker count.
+	Coverage bool
 	// Metrics, when non-nil, receives campaign-level observations (trial
 	// counts and durations, quarantine/timeout/cancel/stuck counters,
 	// repro triage verdicts, worker utilization) — the hub behind the
@@ -105,6 +114,17 @@ type Campaign struct {
 	// every durable sink shares the spec's FS (chunks run with
 	// Checkpoint=nil and would otherwise lose it).
 	sinkFS checkpoint.FS
+
+	// trialBase offsets the campaign-global trial indices coverage
+	// observations are keyed by; the checkpointed campaign loop sets it
+	// to each chunk's start so resumed coverage curves continue exactly
+	// where the previous session stopped.
+	trialBase int64
+
+	// reproSeen seeds the repro sink's behavior-fingerprint dedupe set;
+	// the checkpointed loop passes the fingerprints of already-bundled
+	// failures so a resumed campaign never re-bundles a behavior.
+	reproSeen []uint64
 }
 
 // defaultMaxRepros bounds bundle writing + flake triage when the caller
@@ -120,6 +140,11 @@ type TrialFailure struct {
 	// "timeout" or "harness-panic" (a panic that escaped the engine —
 	// strategy or harness code).
 	Kind string
+	// BehaviorFP is the failing trial's behavior fingerprint (0 when the
+	// campaign ran without Campaign.Coverage or the trial had no
+	// outcome). With coverage on, the repro budget is keyed by it: one
+	// bundle per distinct failure behavior.
+	BehaviorFP uint64 `json:"behavior_fp,omitempty"`
 	// Msg is a short human-readable description.
 	Msg string
 	// Triage is the flake-triage verdict (replay.TriageDeterministic,
@@ -182,9 +207,13 @@ func runCampaignBatch(prog *engine.Program, detect func(*engine.Outcome) bool,
 	// workers would race), merged after the pool drains. The caller's
 	// Options.Telemetry, if any, is treated as an accumulator across
 	// campaigns: it is stripped here and merged into at the end.
-	collect := camp.Telemetry || opts.Telemetry != nil
+	// Coverage implies telemetry collection: the per-worker counter shard
+	// supplies each trial's change-point count, the depth attribution of
+	// first discoveries.
+	collect := camp.Telemetry || opts.Telemetry != nil || camp.Coverage
 	telBase := opts.Telemetry
 	opts.Telemetry = nil
+	opts.Coverage = opts.Coverage || camp.Coverage
 	if camp.Metrics != nil {
 		camp.Metrics.AddExpected(runs)
 	}
@@ -224,6 +253,15 @@ func runCampaignBatch(prog *engine.Program, detect func(*engine.Outcome) bool,
 			prog: prog, newStrategy: newStrategy, opts: opts,
 			dir: camp.ReproDir, max: max, fs: camp.sinkFS,
 			metrics: camp.Metrics, embedPerfetto: camp.EmbedPerfetto,
+			dedupe: camp.Coverage,
+		}
+		for _, fp := range camp.reproSeen {
+			if fp != 0 {
+				if sink.seen == nil {
+					sink.seen = make(map[uint64]bool)
+				}
+				sink.seen[fp] = true
+			}
 		}
 	}
 
@@ -233,11 +271,16 @@ func runCampaignBatch(prog *engine.Program, detect func(*engine.Outcome) bool,
 		if collect {
 			tel = &telemetry.EngineCounters{}
 		}
+		var cov *coverage.Set
+		if camp.Coverage {
+			cov = &coverage.Set{}
+		}
 		strat := newStrategy()
 		labeledWorker(ctx, 0, strat.Name(), progName, func() {
-			res = runWorker(prog, detect, strat, newStrategy, runs, seed, opts, nil, ctx, sink, nil, tel, camp.Metrics)
+			res = runWorker(prog, detect, strat, newStrategy, runs, seed, opts, nil, ctx, sink, nil, tel, camp.Metrics, cov, camp.trialBase)
 		})
 		finishTelemetry(&res, []*telemetry.EngineCounters{tel}, nil, telBase, camp.Metrics)
+		finishCoverage(&res, []*coverage.Set{cov}, nil)
 		finishCampaign(&res, sink, start, camp.Metrics)
 		return res
 	}
@@ -248,6 +291,7 @@ func runCampaignBatch(prog *engine.Program, detect func(*engine.Outcome) bool,
 		locals = make([]TrialResult, workers)
 		states = make([]*workerState, workers)
 		shards = make([]*telemetry.EngineCounters, workers)
+		covs   = make([]*coverage.Set, workers)
 	)
 	for w := 0; w < workers; w++ {
 		states[w] = &workerState{}
@@ -255,13 +299,16 @@ func runCampaignBatch(prog *engine.Program, detect func(*engine.Outcome) bool,
 		if collect {
 			shards[w] = &telemetry.EngineCounters{}
 		}
+		if camp.Coverage {
+			covs[w] = &coverage.Set{}
+		}
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			defer states[w].done.Store(true)
 			strat := newStrategy()
 			labeledWorker(ctx, w, strat.Name(), progName, func() {
-				locals[w] = runWorker(prog, detect, strat, newStrategy, runs, seed, opts, &next, ctx, sink, states[w], shards[w], camp.Metrics)
+				locals[w] = runWorker(prog, detect, strat, newStrategy, runs, seed, opts, &next, ctx, sink, states[w], shards[w], camp.Metrics, covs[w], camp.trialBase)
 			})
 		}(w)
 	}
@@ -282,8 +329,32 @@ func runCampaignBatch(prog *engine.Program, detect func(*engine.Outcome) bool,
 		mergeTrialResults(&res, l)
 	}
 	finishTelemetry(&res, shards, states, telBase, camp.Metrics)
+	finishCoverage(&res, covs, states)
 	finishCampaign(&res, sink, start, camp.Metrics)
 	return res
+}
+
+// finishCoverage merges the per-worker coverage shards into the campaign
+// result. Set.Merge is commutative and associative and novelty is keyed
+// by global trial indices, so the merged set is bit-identical for every
+// worker count and merge order. Shards of workers that never published
+// (stuck) are skipped, like telemetry shards.
+func finishCoverage(res *TrialResult, covs []*coverage.Set, states []*workerState) {
+	merged := &coverage.Set{}
+	any := false
+	for w, c := range covs {
+		if c == nil {
+			continue
+		}
+		if states != nil && !states[w].done.Load() {
+			continue
+		}
+		any = true
+		merged.Merge(c)
+	}
+	if any {
+		res.Coverage = merged
+	}
 }
 
 // labeledWorker runs f under pprof goroutine labels naming the worker,
@@ -489,7 +560,7 @@ func closeQuarantined(r *engine.Runner) {
 func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
 	strat engine.Strategy, newStrategy func() engine.Strategy, runs int, seed int64, opts engine.Options,
 	next *atomic.Int64, ctx context.Context, sink *reproSink, ws *workerState,
-	tel *telemetry.EngineCounters, metrics *telemetry.Metrics) TrialResult {
+	tel *telemetry.EngineCounters, metrics *telemetry.Metrics, covSet *coverage.Set, trialBase int64) TrialResult {
 	var local TrialResult
 	opts.Telemetry = tel
 	if metrics != nil {
@@ -514,6 +585,10 @@ func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
 			ws.seed.Store(s)
 			ws.beat.Store(time.Now().UnixNano())
 		}
+		var cpBefore uint64
+		if tel != nil {
+			cpBefore = tel.ChangePointDepth.Count
+		}
 		o, pan := safeRun(r, strat, s)
 		local.Runs++
 		if pan != nil {
@@ -524,7 +599,7 @@ func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
 				metrics.ObserveTrial(telemetry.TrialObs{Quarantined: true})
 			}
 			if sink != nil {
-				sink.capture(s, "harness-panic", "panic escaped the engine: "+pan.val,
+				sink.capture(s, 0, "harness-panic", "panic escaped the engine: "+pan.val,
 					replay.OutcomeSummary{}, pan)
 			}
 			closeQuarantined(r)
@@ -541,14 +616,29 @@ func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
 			// worker broke out before running the detector).
 			hit = detect(o)
 		}
+		// Coverage: only complete executions define a behavior (runs cut
+		// short by the step limit, a timeout or cancellation observed a
+		// prefix, which would make the census ill-defined). The trial is
+		// keyed by its campaign-global index and attributed to the
+		// change-point depth the strategy actually used this trial.
+		behaviorSeen := covSet != nil && o.Err == nil
+		if behaviorSeen {
+			var depth uint64
+			if tel != nil {
+				depth = tel.ChangePointDepth.Count - cpBefore
+			}
+			covSet.Observe(o.BehaviorFP, trialBase+int64(i), depth)
+		}
 		if metrics != nil {
 			metrics.ObserveTrial(telemetry.TrialObs{
-				Duration:   o.Duration,
-				Events:     o.Events,
-				Hit:        hit,
-				Deadlocked: o.Deadlocked,
-				TimedOut:   o.TimedOut,
-				Canceled:   o.Canceled,
+				Duration:    o.Duration,
+				Events:      o.Events,
+				Hit:         hit,
+				Deadlocked:  o.Deadlocked,
+				TimedOut:    o.TimedOut,
+				Canceled:    o.Canceled,
+				BehaviorFP:  o.BehaviorFP,
+				HasBehavior: behaviorSeen,
 			})
 		}
 		if o.Canceled {
@@ -569,7 +659,7 @@ func runWorker(prog *engine.Program, detect func(*engine.Outcome) bool,
 		}
 		if sink != nil {
 			if kind, failing := classifyFailure(o, hit); failing {
-				sink.capture(s, kind, failureMsg(o, kind), replay.Summarize(o), nil)
+				sink.capture(s, o.BehaviorFP, kind, failureMsg(o, kind), replay.Summarize(o), nil)
 			}
 		}
 	}
@@ -636,21 +726,40 @@ type reproSink struct {
 	metrics       *telemetry.Metrics
 	embedPerfetto bool
 
-	slots atomic.Int64 // claimed capture slots (may exceed max; >max are dropped)
+	// dedupe keys the capture budget by behavior fingerprint (campaigns
+	// with Coverage on): a failure behavior already bundled is never
+	// triaged again, so the max slots go to distinct behaviors instead of
+	// the first max arrivals of the same one.
+	dedupe bool
 
 	mu       sync.Mutex
+	claimed  int             // capture slots consumed (≤ max)
+	seen     map[uint64]bool // bundled behavior fingerprints (dedupe)
 	captured []TrialFailure
 	nondet   int
 }
 
-// capture triages and bundles one failing trial if a slot is free. orig
-// summarizes the campaign trial (zero for harness panics, which have no
-// outcome); pan is non-nil when the trial panicked outside the engine.
-func (s *reproSink) capture(seed int64, kind, msg string, orig replay.OutcomeSummary, pan *panicInfo) {
-	if s.slots.Add(1) > int64(s.max) {
+// capture triages and bundles one failing trial if a slot is free. fp is
+// the trial's behavior fingerprint (0 without coverage or for harness
+// panics, which have no outcome — those always consume a slot). orig
+// summarizes the campaign trial; pan is non-nil when the trial panicked
+// outside the engine.
+func (s *reproSink) capture(seed int64, fp uint64, kind, msg string, orig replay.OutcomeSummary, pan *panicInfo) {
+	s.mu.Lock()
+	if s.claimed >= s.max || (s.dedupe && fp != 0 && s.seen[fp]) {
+		s.mu.Unlock()
 		return
 	}
-	fail := s.triage(seed, kind, msg, orig, pan)
+	if s.dedupe && fp != 0 {
+		if s.seen == nil {
+			s.seen = make(map[uint64]bool)
+		}
+		s.seen[fp] = true
+	}
+	s.claimed++
+	s.mu.Unlock()
+
+	fail := s.triage(seed, fp, kind, msg, orig, pan)
 	s.mu.Lock()
 	s.captured = append(s.captured, fail)
 	if fail.Triage == replay.TriageNondeterministic {
@@ -667,8 +776,8 @@ func (s *reproSink) capture(seed int64, kind, msg string, orig replay.OutcomeSum
 // original outcome (determinism verdict), and writes the repro bundle.
 // The re-run strips the campaign Context and wall-clock bound so the
 // recorded trace covers a complete, deterministic execution.
-func (s *reproSink) triage(seed int64, kind, msg string, orig replay.OutcomeSummary, pan *panicInfo) TrialFailure {
-	fail := TrialFailure{Seed: seed, Kind: kind, Msg: msg}
+func (s *reproSink) triage(seed int64, fp uint64, kind, msg string, orig replay.OutcomeSummary, pan *panicInfo) TrialFailure {
+	fail := TrialFailure{Seed: seed, Kind: kind, Msg: msg, BehaviorFP: fp}
 
 	reOpts := s.opts
 	reOpts.Context = nil
@@ -698,6 +807,7 @@ func (s *reproSink) triage(seed int64, kind, msg string, orig replay.OutcomeSumm
 	bundle := replay.NewBundle(s.prog, stratName, seed, reOpts)
 	bundle.Trace = rec.Trace()
 	bundle.FirstOutcome = orig
+	bundle.BehaviorFP = fp
 	switch {
 	case pan2 != nil:
 		bundle.HarnessPanic = pan2.val

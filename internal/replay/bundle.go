@@ -15,10 +15,15 @@ import (
 )
 
 // BundleVersion is the current repro-bundle format version. Version 2
-// added the top-level memory-model record; loaders accept version 1
-// bundles (written before the engine grew selectable backends) by
-// treating them as rc11. Bump on incompatible changes.
-const BundleVersion = 2
+// added the top-level memory-model record; version 3 added the behavior
+// fingerprint. Loaders accept version 2 bundles (their BehaviorFP is
+// simply absent) and version 1 bundles (written before the engine grew
+// selectable backends) by treating them as rc11. Bump on incompatible
+// changes.
+const BundleVersion = 3
+
+// bundleVersionModel is the pre-coverage model-tagged format, still read.
+const bundleVersionModel = 2
 
 // bundleVersionLegacy is the last pre-model bundle format, still read.
 const bundleVersionLegacy = 1
@@ -172,7 +177,13 @@ type Bundle struct {
 	// FirstOutcome is the digest of the original campaign trial. It equals
 	// Outcome when Triage is DETERMINISTIC.
 	FirstOutcome OutcomeSummary `json:"first_outcome"`
-	Triage       string         `json:"triage"`
+	// BehaviorFP is the original trial's canonical behavior fingerprint
+	// (internal/coverage), recorded when the campaign ran with coverage
+	// on. Zero for coverage-off campaigns, harness-panic bundles, and
+	// pre-v3 bundles. When set, a replay with Options.Coverage re-derives
+	// the fingerprint and Verify checks it matches.
+	BehaviorFP uint64 `json:"behavior_fp,omitempty"`
+	Triage     string `json:"triage"`
 	// HarnessPanic carries the panic value when the trial panicked outside
 	// the engine (strategy or harness code); Stack is the recovered stack.
 	// Such bundles replay best-effort: the Player stands in for the
@@ -229,12 +240,14 @@ func DecodeBundle(data []byte) (*Bundle, error) {
 	}
 	switch b.Version {
 	case BundleVersion:
+	case bundleVersionModel:
+		// Pre-coverage: no fingerprint was recorded. Nothing to upgrade.
 	case bundleVersionLegacy:
 		if b.Model == "" {
 			b.Model = engine.ModelRC11
 		}
 	default:
-		return nil, fmt.Errorf("replay: bundle version %d, this build reads versions %d and %d",
+		return nil, fmt.Errorf("replay: bundle version %d, this build reads versions %d through %d",
 			b.Version, bundleVersionLegacy, BundleVersion)
 	}
 	if b.Program == "" {
@@ -345,6 +358,14 @@ func (b *Bundle) Verify(prog *engine.Program) (VerifyResult, error) {
 		Derails: player.Derails,
 	}
 	res.Diffs = b.Outcome.Diff(res.Summary)
+	// The recorded fingerprint digests the *original* campaign trial; it
+	// is only a replay obligation when triage proved the failure
+	// deterministic (for NONDETERMINISTIC bundles the trace captures the
+	// diverged re-run, whose behavior legitimately differs).
+	if b.BehaviorFP != 0 && o.BehaviorFP != 0 && b.Triage == TriageDeterministic &&
+		o.BehaviorFP != b.BehaviorFP {
+		res.Diffs = append(res.Diffs, fmt.Sprintf("behavior_fp: %#x vs %#x", b.BehaviorFP, o.BehaviorFP))
+	}
 	res.Match = len(res.Diffs) == 0 && res.Derails == 0 && b.HarnessPanic == ""
 	return res, nil
 }

@@ -3,9 +3,14 @@ package report
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"pctwm/internal/benchprog"
+	"pctwm/internal/engine"
+	"pctwm/internal/enumerate"
 	"pctwm/internal/harness"
+	"pctwm/internal/telemetry"
 )
 
 // Figure5CSV emits the Figure 5 series as CSV (benchmark, strategy,
@@ -102,6 +107,63 @@ func TelemetryCSV(w io.Writer, cfg Config) error {
 			s.RaceChecks)
 	}
 	return nil
+}
+
+// CoverageCSV emits the behavior-coverage artifact as CSV: one row per
+// litmus program × strategy with the census size, distinct behaviors
+// found, trials to full coverage (-1 when the campaign did not
+// saturate), the saturation estimators, and the novelty-gap histogram.
+// The campaigns share cell labels with the Coverage text section, so a
+// checkpointed text run seeds the CSV run and vice versa.
+func CoverageCSV(w io.Writer, cfg Config) error {
+	cfg = cfg.normalized()
+	cfg.phase("coverage")
+	if _, err := fmt.Fprintln(w, "program,census,strategy,behaviors,observations,trials_to_full,est_unseen,chao1,gap_hist"); err != nil {
+		return err
+	}
+	for _, name := range coverageTargets {
+		if cfg.interrupted() {
+			return ErrInterrupted
+		}
+		lt, err := findLitmus(name)
+		if err != nil {
+			return err
+		}
+		census, err := enumerate.BehaviorCensus(lt.Program, engine.Options{Model: cfg.Model},
+			enumerate.Config{Limit: coverageCensusLimit, Workers: cfg.Workers, Context: cfg.Context})
+		if err != nil {
+			return err
+		}
+		for i, s := range coverageStrategies {
+			set, err := cfg.coverageCampaign(lt, s.name, s.factory, int64(23*i))
+			if err != nil {
+				return err
+			}
+			st := set.Stats()
+			trialsToFull := int64(-1)
+			if census.Complete && st.Behaviors == len(census.Behaviors) {
+				trialsToFull = st.LastNovel + 1
+			}
+			fmt.Fprintf(w, "%s,%d,%s,%d,%d,%d,%.4f,%.2f,%s\n",
+				lt.Name, len(census.Behaviors), s.name, st.Behaviors, st.Observations,
+				trialsToFull, st.UnseenMass, st.Chao1, histCells(st.GapHist))
+		}
+	}
+	return nil
+}
+
+// histCells renders a histogram's populated buckets as "label:count"
+// pairs joined by ";". The labels come from telemetry.BucketLabel — the
+// exact table behind the Prometheus `le` labels — so the boundaries in
+// the CSV and on /metrics can never disagree (a test pins this).
+func histCells(h telemetry.Hist) string {
+	var parts []string
+	for i, n := range h.Buckets {
+		if n > 0 {
+			parts = append(parts, telemetry.BucketLabel(i)+":"+strconv.FormatUint(n, 10))
+		}
+	}
+	return strings.Join(parts, ";")
 }
 
 func writeCSVRow(w io.Writer, bench, strategy string, res harness.TrialResult) {

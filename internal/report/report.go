@@ -14,6 +14,7 @@ import (
 	"pctwm/internal/apps"
 	"pctwm/internal/benchprog"
 	"pctwm/internal/core"
+	"pctwm/internal/coverage"
 	"pctwm/internal/engine"
 	"pctwm/internal/enumerate"
 	"pctwm/internal/harness"
@@ -66,6 +67,12 @@ type Config struct {
 	// whose bugs need weak behaviour report lower (or zero) rates under
 	// sc/tso, which is itself the cross-model sensitivity signal.
 	Model string
+	// Coverage arms behavior fingerprinting on every trial batch: each
+	// complete trial contributes to a deterministic first-seen behavior
+	// set (internal/coverage), the live Metrics progress line gains the
+	// behaviors/est_unseen fields, and the repro sink dedupes bundles by
+	// behavior. The Coverage/CoverageCSV sections fingerprint regardless.
+	Coverage bool
 	// Checkpoint, when non-nil, arms the durable checkpoint/resume layer
 	// for every trial batch: each batch periodically snapshots its
 	// cumulative state under the spec's directory (keyed by a per-call-site
@@ -84,6 +91,7 @@ func (c Config) campaign() harness.Campaign {
 		Workers: c.Workers, Context: c.Context,
 		ReproDir: c.ReproDir, MaxRepros: c.MaxRepros,
 		Metrics: c.Metrics, Model: c.Model,
+		Coverage: c.Coverage,
 	}
 }
 
@@ -345,60 +353,114 @@ func Figure6(w io.Writer, cfg Config) error {
 	return nil
 }
 
-// Coverage measures outcome-space coverage on litmus programs: the
-// exhaustive explorer computes the full reachable outcome set, then each
-// strategy gets a fixed budget of rounds and is scored by how many
-// distinct outcomes it visits — the coverage view of randomized testing
-// the POS paper popularized (related work, §7).
+// coverageTargets are the litmus programs the coverage artifacts census
+// and sample (weak-behaviour-rich programs with small decision trees, so
+// the exhaustive census is cheap and saturation is reachable in a
+// Quick-sized budget).
+var coverageTargets = []string{"SB+rlx", "MP+rlx", "LB+rlx", "CoRR2", "IRIW+rlx"}
+
+// coverageCensusLimit caps each census enumeration.
+const coverageCensusLimit = 500000
+
+// coverageStrategies are the strategies the coverage artifacts race
+// against each other (same lineup as the historical outcome-coverage
+// table: the POS-paper comparison set).
+var coverageStrategies = []struct {
+	name    string
+	factory harness.StrategyFactory
+}{
+	{"c11tester", harness.C11Tester()},
+	{"pos", harness.POSFactory()},
+	{"pct", harness.PCTFactory(2)},
+	{"pctwm", harness.PCTWMFactory(2, 2)},
+}
+
+// findLitmus resolves a litmus test by name.
+func findLitmus(name string) (*litmus.Test, error) {
+	for _, cand := range litmus.Suite() {
+		if cand.Name == name {
+			return cand, nil
+		}
+	}
+	return nil, fmt.Errorf("report: unknown litmus test %q", name)
+}
+
+// coverageCampaign runs one litmus coverage campaign and returns its
+// deterministic behavior set. The cell label is shared between the
+// text and CSV sections, so checkpointed runs seed each other.
+func (c Config) coverageCampaign(lt *litmus.Test, strategy string, factory harness.StrategyFactory, seedOff int64) (*coverage.Set, error) {
+	opts := engine.Options{Model: c.Model}
+	est := harness.EstimateParams(lt.Program, 10, c.Seed, opts)
+	camp := c.campaignCell("coverage/" + lt.Name + "/" + strategy)
+	camp.Coverage = true
+	noHit := func(*engine.Outcome) bool { return false }
+	res := harness.RunCampaign(lt.Program, noHit, func() engine.Strategy { return factory(est) },
+		c.Runs, c.Seed+seedOff, opts, camp)
+	if res.Coverage == nil {
+		if res.Interrupted {
+			return nil, ErrInterrupted
+		}
+		return nil, fmt.Errorf("report: coverage campaign %s/%s produced no coverage", lt.Name, strategy)
+	}
+	return res.Coverage, nil
+}
+
+// coverageCell renders one strategy's coverage against the census:
+// behaviors found, then either @T (trials to full coverage, for a
+// saturated campaign) or ~p% (the Good–Turing unseen-mass estimate).
+func coverageCell(set *coverage.Set, census *enumerate.Census) string {
+	st := set.Stats()
+	if census.Complete && st.Behaviors == len(census.Behaviors) {
+		return fmt.Sprintf("%d @%d", st.Behaviors, st.LastNovel+1)
+	}
+	return fmt.Sprintf("%d ~%.1f%%", st.Behaviors, 100*st.UnseenMass)
+}
+
+// Coverage measures behavior-space coverage on litmus programs: the
+// exhaustive explorer computes the ground-truth behavior census (every
+// distinct behavior fingerprint any schedule can realize — final
+// values, reads-from pairs and per-location coherence, canonicalized by
+// internal/coverage), then each strategy gets a fixed budget of rounds
+// and is scored by how many distinct behaviors it visits and how fast
+// it stops finding new ones — the saturation view of randomized
+// testing ("is my campaign done?"). The behavior census refines the
+// final-value outcome count the POS paper popularized (related work,
+// §7): schedules agreeing on finals but differing in rf/coherence are
+// distinct behaviors here.
 func Coverage(w io.Writer, cfg Config) error {
 	cfg = cfg.normalized()
 	cfg.phase("coverage")
-	fmt.Fprintf(w, "Outcome coverage on litmus programs (distinct outcomes found in %d rounds / reachable).\n", cfg.Runs)
+	fmt.Fprintf(w, "Behavior coverage on litmus programs: distinct behaviors found in %d rounds vs. the exhaustive census.\n", cfg.Runs)
+	fmt.Fprintln(w, "Cells: behaviors found, then @T = trials to full coverage or ~p% = Good-Turing unseen-mass estimate.")
 	tw := newTab(w)
-	fmt.Fprintln(tw, "Program\treachable\tC11Tester\tPOS\tPCT\tPCTWM(d=2,h=2)")
-	targets := []string{"SB+rlx", "MP+rlx", "LB+rlx", "CoRR2", "IRIW+rlx"}
-	for _, name := range targets {
+	fmt.Fprintln(tw, "Program\tcensus\tC11Tester\tPOS\tPCT(d=2)\tPCTWM(d=2,h=2)")
+	for _, name := range coverageTargets {
 		if cfg.interrupted() {
 			tw.Flush()
 			return ErrInterrupted
 		}
-		var lt *litmus.Test
-		for _, cand := range litmus.Suite() {
-			if cand.Name == name {
-				lt = cand
-				break
-			}
+		lt, err := findLitmus(name)
+		if err != nil {
+			return err
 		}
-		if lt == nil {
-			return fmt.Errorf("report: unknown litmus test %q", name)
+		census, err := enumerate.BehaviorCensus(lt.Program, engine.Options{Model: cfg.Model},
+			enumerate.Config{Limit: coverageCensusLimit, Workers: cfg.Workers, Context: cfg.Context})
+		if err != nil {
+			return err
 		}
-		full, res := enumerate.Outcomes(lt.Program, engine.Options{Model: cfg.Model},
-			enumerate.Config{Limit: 500000, Workers: cfg.Workers}, func(o *engine.Outcome) string {
-				return lt.Outcome(o.FinalValues)
-			})
-		if res.Drift != nil {
-			return res.Drift
-		}
-		total := fmt.Sprintf("%d", len(full))
-		if !res.Complete {
+		total := fmt.Sprintf("%d", len(census.Behaviors))
+		if !census.Complete {
 			total += "+"
 		}
-		est := harness.EstimateParams(lt.Program, 10, cfg.Seed, engine.Options{Model: cfg.Model})
 		row := []string{}
-		runner := engine.NewRunner(lt.Program, engine.Options{Model: cfg.Model})
-		for _, factory := range []harness.StrategyFactory{
-			harness.C11Tester(), harness.POSFactory(),
-			harness.PCTFactory(2), harness.PCTWMFactory(2, 2),
-		} {
-			seen := map[string]bool{}
-			strat := factory(est)
-			for i := 0; i < cfg.Runs; i++ {
-				o := runner.Run(strat, cfg.Seed+int64(i))
-				seen[lt.Outcome(o.FinalValues)] = true
+		for i, s := range coverageStrategies {
+			set, err := cfg.coverageCampaign(lt, s.name, s.factory, int64(23*i))
+			if err != nil {
+				tw.Flush()
+				return err
 			}
-			row = append(row, fmt.Sprintf("%d", len(seen)))
+			row = append(row, coverageCell(set, census))
 		}
-		runner.Close()
 		fmt.Fprintf(tw, "%s\t%s\t%s\n", lt.Name, total, strings.Join(row, "\t"))
 	}
 	return tw.Flush()

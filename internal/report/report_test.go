@@ -120,9 +120,28 @@ func TestCoverage(t *testing.T) {
 	out := render(t, func(w interface{ Write([]byte) (int, error) }, cfg Config) error {
 		return Coverage(w, cfg)
 	})
-	for _, want := range []string{"reachable", "SB+rlx", "IRIW+rlx"} {
+	for _, want := range []string{"census", "behaviors", "SB+rlx", "IRIW+rlx"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCoverageCSV(t *testing.T) {
+	out := render(t, func(w interface{ Write([]byte) (int, error) }, cfg Config) error {
+		return CoverageCSV(w, cfg)
+	})
+	if !strings.HasPrefix(out, "program,census,strategy,behaviors,observations,trials_to_full,est_unseen,chao1,gap_hist\n") {
+		t.Fatalf("csv header missing:\n%s", out)
+	}
+	// One row per target program × strategy, every row well-formed.
+	rows := strings.Split(strings.TrimSpace(out), "\n")[1:]
+	if want := len(coverageTargets) * len(coverageStrategies); len(rows) != want {
+		t.Fatalf("%d rows, want %d:\n%s", len(rows), want, out)
+	}
+	for _, row := range rows {
+		if cells := strings.Split(row, ","); len(cells) != 9 {
+			t.Fatalf("malformed row %q", row)
 		}
 	}
 }

@@ -49,6 +49,9 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	counter("pctwm_checkpoint_corrupt_recoveries_total", "Checkpoint loads that fell back past a corrupt generation.", s.CheckpointCorrupt)
 	counter("pctwm_checkpoint_degraded_total", "Campaigns that stopped writing durably (directory unwritable).", s.CheckpointDegraded)
 
+	counter("pctwm_coverage_behaviors_total", "Distinct behavior fingerprints observed across coverage-enabled trials.", s.CoverageBehaviors)
+	gauge("pctwm_coverage_unseen_mass", "Good-Turing estimate of the probability the next trial shows a never-seen behavior.", s.CoverageUnseenMass)
+
 	gauge("pctwm_trials_per_second", "Campaign-wide trial completion rate.", s.TrialsPerSec)
 	gauge("pctwm_worker_count", "Campaign workers currently running trials.", float64(s.Workers))
 	gauge("pctwm_worker_utilization_ratio", "Fraction of worker time spent inside trials.", s.WorkerUtilization)
@@ -92,8 +95,10 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 }
 
 // writePromHist renders one Hist as a Prometheus histogram with
-// cumulative le bounds at the bucket upper edges (2^i - 1, then +Inf).
-// Empty leading/trailing buckets are collapsed to keep output small.
+// cumulative le bounds from the shared BucketLabel table (2^i - 1, then
+// +Inf) — the same labels the CSV/report renderers use, so /metrics and
+// report boundaries cannot diverge. Empty leading/trailing buckets are
+// collapsed to keep output small.
 func writePromHist(w io.Writer, name, help string, h Hist) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	var cum uint64
@@ -105,10 +110,10 @@ func writePromHist(w io.Writer, name, help string, h Hist) {
 		if h.Buckets[i] == 0 && i > 0 {
 			continue
 		}
-		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, BucketUpper(i), cum)
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, BucketLabel(i), cum)
 	}
 	cum += h.Buckets[HistBuckets-1]
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, BucketLabel(HistBuckets-1), cum)
 	fmt.Fprintf(w, "%s_sum %d\n", name, h.Sum)
 	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
 }

@@ -63,6 +63,14 @@ type TrialObs struct {
 	Canceled bool
 	// Deadlocked marks a reported deadlock outcome (subset of Hit).
 	Deadlocked bool
+	// BehaviorFP is the trial's canonical behavior fingerprint (computed
+	// by internal/coverage when engine Options.Coverage is on).
+	// Meaningful only when HasBehavior is set.
+	BehaviorFP uint64
+	// HasBehavior marks a complete execution with a valid BehaviorFP:
+	// coverage was enabled and the run finished without an engine error
+	// (timeouts, step-limit aborts and cancellations carry no behavior).
+	HasBehavior bool
 }
 
 // Metrics is the campaign-level metrics hub shared by all workers of one
@@ -106,6 +114,16 @@ type Metrics struct {
 
 	mu     sync.Mutex
 	engine EngineCounters // merged per-worker engine counters
+
+	// covSeen/covObs are the live behavior-coverage view: observation
+	// counts per fingerprint across all trials observed by this hub, and
+	// the total number of behavior-carrying trials. Updated once per
+	// trial under mu (the map write is far cheaper than the trial that
+	// produced it); the campaign-final deterministic set lives in
+	// coverage.Set — this map only feeds monitoring output (the
+	// Prometheus gauges and the progress line).
+	covSeen map[uint64]uint64
+	covObs  uint64
 }
 
 // touchStart records the first observation time; all rate and ETA
@@ -177,6 +195,39 @@ func (m *Metrics) ObserveTrial(o TrialObs) {
 			m.nsPerEvent.Observe(ns / uint64(o.Events))
 		}
 	}
+	if o.HasBehavior {
+		m.mu.Lock()
+		if m.covSeen == nil {
+			m.covSeen = make(map[uint64]uint64)
+		}
+		m.covSeen[o.BehaviorFP]++
+		m.covObs++
+		m.mu.Unlock()
+	}
+}
+
+// Coverage returns the live behavior-coverage counters: distinct
+// behaviors seen, behavior-carrying trials observed, and behaviors seen
+// exactly once (the Good–Turing f1). All zero when coverage is off.
+func (m *Metrics) Coverage() (behaviors, observations, singletons uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range m.covSeen {
+		if n == 1 {
+			singletons++
+		}
+	}
+	return uint64(len(m.covSeen)), m.covObs, singletons
+}
+
+// UnseenMass is the Good–Turing estimate of the probability mass of
+// never-seen behaviors — the chance the next trial shows something new,
+// f1/N. Zero-guarded (0 for an empty campaign, never NaN).
+func UnseenMass(singletons, observations uint64) float64 {
+	if observations == 0 {
+		return 0
+	}
+	return float64(singletons) / float64(observations)
 }
 
 // CampaignInterrupted counts a campaign cut short by context
@@ -265,6 +316,13 @@ type Snapshot struct {
 	TrialNs    HistSummary `json:"trial_ns"`
 	NsPerEvent HistSummary `json:"ns_per_event"`
 
+	// Behavior coverage (zero when no campaign ran with coverage on):
+	// distinct behaviors, behavior-carrying trials, and the Good–Turing
+	// unseen-mass estimate f1/N.
+	CoverageBehaviors    uint64  `json:"coverage_behaviors,omitempty"`
+	CoverageObservations uint64  `json:"coverage_observations,omitempty"`
+	CoverageUnseenMass   float64 `json:"coverage_unseen_mass,omitempty"`
+
 	Engine EngineSummary `json:"engine"`
 }
 
@@ -323,6 +381,7 @@ func (m *Metrics) SnapshotAt(now time.Time) Snapshot {
 	eng := m.Engine()
 	trialNs := m.trialNs.Snapshot()
 	nsPerEvent := m.nsPerEvent.Snapshot()
+	behaviors, covObs, singletons := m.Coverage()
 	return Snapshot{
 		Phase:        m.Phase(),
 		UptimeSec:    up.Seconds(),
@@ -351,6 +410,10 @@ func (m *Metrics) SnapshotAt(now time.Time) Snapshot {
 
 		TrialNs:    trialNs.Summary(),
 		NsPerEvent: nsPerEvent.Summary(),
+
+		CoverageBehaviors:    behaviors,
+		CoverageObservations: covObs,
+		CoverageUnseenMass:   UnseenMass(singletons, covObs),
 
 		Engine: eng.Summary(),
 	}

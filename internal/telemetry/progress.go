@@ -68,7 +68,15 @@ func FormatProgress(s Snapshot) string {
 	if s.Expected > 0 {
 		total = fmt.Sprintf("/%d", s.Expected)
 	}
-	return fmt.Sprintf("[%s] %d%s trials (%.1f/s%s) | hits %d, quarantine %d, timeout %d | workers %d",
+	// With coverage on, show how much of the behavior space the campaign
+	// is still discovering: distinct behaviors and the Good–Turing
+	// estimate of the unseen probability mass (see Snapshot).
+	var cov string
+	if s.CoverageObservations > 0 {
+		cov = fmt.Sprintf(" | behaviors=%d est_unseen=%.1f%%",
+			s.CoverageBehaviors, 100*s.CoverageUnseenMass)
+	}
+	return fmt.Sprintf("[%s] %d%s trials (%.1f/s%s) | hits %d, quarantine %d, timeout %d%s | workers %d",
 		phase, s.Trials, total, s.TrialsPerSec, eta,
-		s.Hits, s.Quarantines, s.Timeouts, s.Workers)
+		s.Hits, s.Quarantines, s.Timeouts, cov, s.Workers)
 }

@@ -26,6 +26,7 @@ package telemetry
 
 import (
 	"math/bits"
+	"strconv"
 
 	"pctwm/internal/memmodel"
 )
@@ -66,6 +67,28 @@ func histBucket(v uint64) int {
 // the last bucket is unbounded (callers render it as +Inf).
 func BucketUpper(i int) uint64 {
 	return uint64(1)<<uint(i) - 1
+}
+
+// BucketLabel renders bucket i's inclusive upper bound. This is the one
+// shared boundary table: the Prometheus exposition (histogram `le`
+// labels) and the CSV/report histogram columns both go through it, so
+// the bucket boundaries shown on /metrics and in reports cannot drift
+// apart. The last bucket is unbounded and renders as "+Inf".
+func BucketLabel(i int) string {
+	if i >= HistBuckets-1 {
+		return "+Inf"
+	}
+	return strconv.FormatUint(BucketUpper(i), 10)
+}
+
+// BucketLabels returns the labels of all HistBuckets buckets in order
+// (see BucketLabel).
+func BucketLabels() [HistBuckets]string {
+	var out [HistBuckets]string
+	for i := range out {
+		out[i] = BucketLabel(i)
+	}
+	return out
 }
 
 // Observe records one value.
