@@ -6,8 +6,8 @@
 //	pctwm-experiments [-quick] [-runs N] [-fig6runs N] [-perfruns N] [-seed S] [-workers N]
 //	                  [-repro-dir DIR [-max-repros N]]
 //	                  [-checkpoint-dir DIR [-checkpoint-every N]] [-resume DIR]
-//	                  [-metrics-addr ADDR] [-pprof-addr ADDR] [-progress] [-coverage]
-//	                  [-section all|table1|table2|table3|table4|figure5|figure6|coverage|coveragecsv|telemetry|...]
+//	                  [-metrics-addr ADDR] [-pprof-addr ADDR] [-progress] [-coverage] [-distcheck]
+//	                  [-section all|table1|table2|table3|table4|figure5|figure6|coverage|coveragecsv|telemetry|distcheck|...]
 //
 // -coverage fingerprints every complete trial's behavior
 // (internal/coverage) across all sections: with -progress the status
@@ -16,6 +16,12 @@
 // repro sink spends its -max-repros budget on distinct behaviors. The
 // coverage/coveragecsv sections (behavior census vs. campaign
 // saturation on litmus programs) fingerprint regardless of the flag.
+//
+// -distcheck (or -section distcheck) runs the statistical
+// strategy-conformance harness instead of the paper artifacts: the
+// shipped strategies are checked against exact ground truth from the
+// exhaustive explorer and the colliding-priority regression fixtures
+// must be detected; any failure exits nonzero (the CI gate).
 //
 // The default configuration uses the paper's experiment sizes (1000
 // rounds per table configuration, 500 per Figure 6 point, 10 timed runs
@@ -57,23 +63,24 @@ import (
 
 func main() {
 	var (
-		quick       = flag.Bool("quick", false, "use the small smoke-run configuration")
-		runs        = flag.Int("runs", 0, "rounds per configuration for tables 2-3 and figure 5 (0 = default)")
-		fig6runs    = flag.Int("fig6runs", 0, "rounds per figure 6 point (0 = default)")
-		perfruns    = flag.Int("perfruns", 0, "timed runs per table 4 cell (0 = default)")
-		seed        = flag.Int64("seed", 0, "base random seed (0 = default)")
-		workers     = flag.Int("workers", 1, "worker goroutines per trial batch (0 = GOMAXPROCS, 1 = serial); results are identical for every worker count")
-		section     = flag.String("section", "all", "which artifact to regenerate: all, table1..table4, figure5, figure6, ablation, baselines, coverage, figure5csv, figure6csv, telemetry, telemetrycsv")
-		reproDir    = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
-		maxRepros   = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per trial batch")
-		ckptDir     = flag.String("checkpoint-dir", "", "write periodic durable campaign checkpoints under this directory")
-		ckptEvery   = flag.Int("checkpoint-every", harness.DefaultCheckpointEvery, "checkpoint cadence in trials per batch")
-		resumeDir   = flag.String("resume", "", "resume a checkpointed run from this directory (implies -checkpoint-dir)")
-		metricsAddr = flag.String("metrics-addr", "", "serve campaign metrics on this address (/metrics Prometheus, /metrics.json, /debug/vars)")
-		pprofAddr   = flag.String("pprof-addr", "", "serve net/http/pprof on this address")
-		progress    = flag.Bool("progress", false, "print a periodic one-line campaign status to stderr")
-		covFlag     = flag.Bool("coverage", false, "fingerprint each trial's behavior in every section's campaigns (progress line gains behaviors/est_unseen; repro bundles dedupe by behavior)")
-		model       = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso (the paper's tables are defined for rc11)")
+		quick         = flag.Bool("quick", false, "use the small smoke-run configuration")
+		runs          = flag.Int("runs", 0, "rounds per configuration for tables 2-3 and figure 5 (0 = default)")
+		fig6runs      = flag.Int("fig6runs", 0, "rounds per figure 6 point (0 = default)")
+		perfruns      = flag.Int("perfruns", 0, "timed runs per table 4 cell (0 = default)")
+		seed          = flag.Int64("seed", 0, "base random seed (0 = default)")
+		workers       = flag.Int("workers", 1, "worker goroutines per trial batch (0 = GOMAXPROCS, 1 = serial); results are identical for every worker count")
+		section       = flag.String("section", "all", "which artifact to regenerate: all, table1..table4, figure5, figure6, ablation, baselines, coverage, figure5csv, figure6csv, telemetry, telemetrycsv")
+		reproDir      = flag.String("repro-dir", "", "write replayable repro bundles for failing trials under this directory")
+		maxRepros     = flag.Int("max-repros", 3, "with -repro-dir: cap triaged bundles per trial batch")
+		ckptDir       = flag.String("checkpoint-dir", "", "write periodic durable campaign checkpoints under this directory")
+		ckptEvery     = flag.Int("checkpoint-every", harness.DefaultCheckpointEvery, "checkpoint cadence in trials per batch")
+		resumeDir     = flag.String("resume", "", "resume a checkpointed run from this directory (implies -checkpoint-dir)")
+		metricsAddr   = flag.String("metrics-addr", "", "serve campaign metrics on this address (/metrics Prometheus, /metrics.json, /debug/vars)")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address")
+		progress      = flag.Bool("progress", false, "print a periodic one-line campaign status to stderr")
+		covFlag       = flag.Bool("coverage", false, "fingerprint each trial's behavior in every section's campaigns (progress line gains behaviors/est_unseen; repro bundles dedupe by behavior)")
+		distcheckFlag = flag.Bool("distcheck", false, "run the strategy-conformance harness (shorthand for -section distcheck); exits nonzero if any distributional check fails or a colliding fixture goes undetected")
+		model         = flag.String("engine.model", engine.ModelRC11, "memory model backend: rc11, sc, tso (the paper's tables are defined for rc11)")
 	)
 	flag.Parse()
 	if !engine.ValidModel(*model) {
@@ -183,6 +190,10 @@ func main() {
 		"figure6csv":   report.Figure6CSV,
 		"telemetry":    report.Telemetry,
 		"telemetrycsv": report.TelemetryCSV,
+		"distcheck":    report.DistCheck,
+	}
+	if *distcheckFlag {
+		*section = "distcheck"
 	}
 	f, ok := sections[*section]
 	if !ok {

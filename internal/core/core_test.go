@@ -187,7 +187,7 @@ func TestSampleDistinct(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		n := int(nRaw%6) + 1
 		max := int(maxRaw%10) + 1
-		pts := sampleDistinct(r, n, max, nil)
+		pts, _ := sampleDistinct(r, n, max, nil, nil)
 		if len(pts) > max || (n <= max && len(pts) != n) {
 			return false
 		}

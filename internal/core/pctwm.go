@@ -47,6 +47,18 @@ type pctwmThread struct {
 //   - a delayed ("reordered") read reads from one of the h mo-maximal
 //     legal writes, uniformly (readGlobal); every other read reads from
 //     its thread-local view (readLocal).
+//
+// Priority invariants (the 1/(h·kcom)^d bound of §5.4 assumes them):
+//
+//   - every live thread's priority is distinct at all times: the high
+//     band is a uniformly random rank permutation (OnThreadStart), the
+//     d reserved slots 1..d are each taken by at most one delayed thread
+//     (one per sampled tuple position), and OnSpin demotes to a fresh
+//     strictly-decreasing minimum;
+//   - OnThreadStart never produces a priority in the reserved range
+//     [1, d]: high-band priorities are ≥ d+1 = highBase;
+//   - highestPriority's lowest-index tie-break is therefore unreachable
+//     in steady state; it remains only as a deterministic safety net.
 type PCTWM struct {
 	// Depth is the bug-depth parameter d (number of communication
 	// relations to sample).
@@ -66,11 +78,17 @@ type PCTWM struct {
 	// is the index (in encounter order) of tuple position k+1. d is small,
 	// so the per-communication-event lookup is a linear scan.
 	sampled   []int
-	sampleBuf []int // scratch for sampleDistinct, reused across runs
-	commSeen  int
-	minPrio   int
-	highBase  int
-	highN     int
+	sampleBuf []int // result buffer for sampleDistinct, reused across runs
+	fyScratch []int // Fisher–Yates scratch for sampleDistinct's dense path
+	// band lists the threads currently holding high-band priorities in
+	// ascending priority order; threads[band[i]-1].prio == highBase + i.
+	// Delayed and demoted threads leave the band.
+	band          []memmodel.ThreadID
+	commSeen      int
+	minPrio       int
+	highBase      int
+	started       int  // threads seen by OnThreadStart this run
+	legacyCollide bool // see NewCollidingPCTWM
 }
 
 // stickyEscapeAfter is the number of livelock notifications for one
@@ -95,6 +113,18 @@ func NewPCTWM(d, h, kcom int) *PCTWM {
 	return &PCTWM{Depth: d, History: h, CommEvents: kcom}
 }
 
+// NewCollidingPCTWM returns the pre-fix PCTWM whose OnThreadStart drew
+// priorities with replacement from a band of width 2·started, so two
+// threads frequently shared a priority and ties silently resolved
+// lowest-tid-first — biasing schedules and voiding the §5.4 bound. It is
+// kept ONLY as a regression fixture for the distcheck conformance
+// harness (see internal/distcheck).
+func NewCollidingPCTWM(d, h, kcom int) *PCTWM {
+	s := NewPCTWM(d, h, kcom)
+	s.legacyCollide = true
+	return s
+}
+
 // Name implements engine.Strategy.
 func (s *PCTWM) Name() string { return "pctwm" }
 
@@ -104,11 +134,12 @@ func (s *PCTWM) Begin(info engine.ProgramInfo, r *rand.Rand) {
 	s.rng = r
 	s.tel = info.Telemetry
 	s.threads = s.threads[:0]
+	s.band = s.band[:0]
 	s.commSeen = 0
 	s.minPrio = 0
 	s.highBase = s.Depth + 1
-	s.highN = 0
-	s.sampleBuf = sampleDistinct(r, s.Depth, s.CommEvents, s.sampleBuf)
+	s.started = 0
+	s.sampleBuf, s.fyScratch = sampleDistinct(r, s.Depth, s.CommEvents, s.sampleBuf, s.fyScratch)
 	s.sampled = s.sampleBuf
 }
 
@@ -123,11 +154,28 @@ func (s *PCTWM) thread(tid memmodel.ThreadID) *pctwmThread {
 }
 
 // OnThreadStart gives every new thread a random priority above the d
-// reserved slots (Algorithm 1, line 3).
+// reserved slots (Algorithm 1, line 3), distinct from every other live
+// thread's: the thread is inserted at a uniformly random rank of the
+// high band and the band is renumbered from highBase. Inserting each
+// arrival at a uniform rank yields a uniformly random permutation of
+// thread ranks without knowing the final thread count up front. Threads
+// already delayed or demoted are not in the band and keep their low
+// priorities untouched.
 func (s *PCTWM) OnThreadStart(tid, _ memmodel.ThreadID) {
-	s.highN++
+	s.started++
 	st := s.thread(tid)
-	*st = pctwmThread{prio: s.highBase + s.rng.Intn(s.highN*2), lastCounted: -1, reorderIdx: -1}
+	if s.legacyCollide {
+		// Pre-fix behavior (regression fixture): sample with replacement,
+		// so distinct threads collide and ties resolve lowest-tid-first.
+		*st = pctwmThread{prio: s.highBase + s.rng.Intn(s.started*2), lastCounted: -1, reorderIdx: -1}
+		return
+	}
+	*st = pctwmThread{lastCounted: -1, reorderIdx: -1}
+	at := s.rng.Intn(len(s.band) + 1)
+	s.band = bandInsert(s.band, tid, at)
+	for i, id := range s.band {
+		s.threads[id-1].prio = s.highBase + i
+	}
 }
 
 // highestPriority returns the index in enabled of the operation whose
@@ -171,7 +219,10 @@ func (s *PCTWM) NextThread(enabled []engine.PendingOp) memmodel.ThreadID {
 			return op.TID
 		}
 		// Delay: move the thread into reserved slot d−k+1 and mark the
-		// event as a communication sink (lines 9-13).
+		// event as a communication sink (lines 9-13). Each tuple position
+		// is sampled at most once, so the slot is free; the thread leaves
+		// the high band so later thread starts cannot renumber it back up.
+		s.band = bandRemove(s.band, op.TID)
 		st.prio = s.Depth - k + 1
 		st.reorderIdx = op.Index
 		if s.tel != nil {
@@ -221,6 +272,7 @@ func (s *PCTWM) OnEvent(*memmodel.Event) {}
 func (s *PCTWM) OnSpin(tid memmodel.ThreadID) {
 	s.minPrio--
 	st := s.thread(tid)
+	s.band = bandRemove(s.band, tid)
 	st.prio = s.minPrio
 	st.escape = true
 	st.spins++

@@ -96,6 +96,47 @@ func BehaviorCensus(p *engine.Program, opts engine.Options, cfg Config) (*Census
 	return c, nil
 }
 
+// BehaviorProbs exhaustively enumerates p under opts and returns, for
+// each behavior fingerprint, the exact probability that a
+// uniform-decision random walk — one uniform choice among the enabled
+// threads at every scheduling point and among the legal candidates at
+// every read, i.e. the sampling distribution of core.Random — produces
+// that behavior. A leaf reached through decisions of arities a_1…a_m
+// has probability prod(1/a_i); behaviors sum their leaves.
+//
+// The second return is the probability mass on errored leaves
+// (step-limit aborts, deadlocks), which carry no behavior; conditioning
+// an empirical clean-run distribution against these probabilities must
+// renormalize by 1−errMass. The exploration is serial (floating-point
+// accumulation is order-sensitive) and always complete: limit 0 means
+// unlimited, and a limit that truncates the tree returns an error, as a
+// truncated distribution is not a distribution.
+func BehaviorProbs(p *engine.Program, opts engine.Options, limit int) (probs map[uint64]float64, errMass float64, err error) {
+	opts.Coverage = true
+	probs = make(map[uint64]float64)
+	r := engine.NewRunner(p, opts)
+	defer r.Close()
+	sub := dfs(r, nil, nil, limit, opts.Telemetry, nil, func(o *engine.Outcome, arity []int) bool {
+		pr := 1.0
+		for _, a := range arity {
+			pr /= float64(a)
+		}
+		if o.Err != nil {
+			errMass += pr
+			return true
+		}
+		probs[o.BehaviorFP] += pr
+		return true
+	})
+	if sub.drift != nil {
+		return nil, 0, sub.drift
+	}
+	if !sub.complete {
+		return nil, 0, fmt.Errorf("enumerate: BehaviorProbs hit the %d-run limit on %s: a truncated leaf set has no distribution", limit, p.Name())
+	}
+	return probs, errMass, nil
+}
+
 // Fingerprints returns the census's sorted distinct fingerprints —
 // directly comparable (slices.Equal) against coverage.Set.Fingerprints.
 func (c *Census) Fingerprints() []uint64 {

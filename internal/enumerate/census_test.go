@@ -95,6 +95,47 @@ func TestBehaviorCensusSkipsErrored(t *testing.T) {
 	}
 }
 
+// TestBehaviorProbsSB: the exact uniform-walk distribution is a proper
+// probability distribution whose support matches the census exactly.
+func TestBehaviorProbsSB(t *testing.T) {
+	lt := litmus.SBRelaxed()
+	probs, errMass, err := BehaviorProbs(lt.Program, engine.Options{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := errMass
+	for fp, p := range probs {
+		if p <= 0 || p > 1 {
+			t.Fatalf("behavior %#x has probability %v outside (0,1]", fp, p)
+		}
+		total += p
+	}
+	if total < 1-1e-9 || total > 1+1e-9 {
+		t.Fatalf("probabilities sum to %v, want 1", total)
+	}
+	c, err := BehaviorCensus(lt.Program, engine.Options{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fp := range c.Fingerprints() {
+		if _, ok := probs[fp]; !ok {
+			t.Fatalf("census behavior %#x missing from probs", fp)
+		}
+	}
+	if len(probs) != len(c.Behaviors) {
+		t.Fatalf("probs support %d behaviors, census %d", len(probs), len(c.Behaviors))
+	}
+}
+
+// TestBehaviorProbsTruncationErrors: a limit that cuts the tree short is
+// an error, never a silently truncated distribution.
+func TestBehaviorProbsTruncationErrors(t *testing.T) {
+	lt := litmus.SBRelaxed()
+	if _, _, err := BehaviorProbs(lt.Program, engine.Options{}, 1); err == nil {
+		t.Fatal("limit=1 must truncate SB and error")
+	}
+}
+
 // TestCensusRoundTrip: Encode/DecodeCensus is lossless.
 func TestCensusRoundTrip(t *testing.T) {
 	lt := litmus.SBRelaxed()

@@ -218,14 +218,18 @@ type subtreeResult struct {
 // carries the recorded arity of each decision along prefix for drift
 // detection. limit > 0 caps visited leaves; stop (may be nil) is polled
 // between executions for cooperative early termination; visit returns
-// false to stop after the current leaf. tel (may be nil) counts engine
-// executions into ExploreRuns.
+// false to stop after the current leaf. visit additionally receives the
+// leaf's decision arities (engine-owned scratch, valid only during the
+// call): arity[i] is the number of alternatives at the leaf's i-th
+// decision point, so prod(1/arity[i]) is the exact probability a
+// uniform-decision random walk reaches this leaf (see BehaviorProbs).
+// tel (may be nil) counts engine executions into ExploreRuns.
 //
 // The steady-state loop performs no allocations of its own: the script
 // and arity buffers are reused across leaves, so per-leaf cost is the
 // pooled Runner execution plus the backtracking scan.
 func dfs(r *engine.Runner, prefix, want []int, limit int, tel *telemetry.EngineCounters,
-	stop func() bool, visit func(*engine.Outcome) bool) subtreeResult {
+	stop func() bool, visit func(*engine.Outcome, []int) bool) subtreeResult {
 	var res subtreeResult
 	s := &scripted{}
 	script := append(make([]int, 0, len(prefix)+16), prefix...)
@@ -265,7 +269,7 @@ func dfs(r *engine.Runner, prefix, want []int, limit int, tel *telemetry.EngineC
 		if o.Aborted {
 			res.truncated++
 		}
-		if !visit(o) {
+		if !visit(o, s.arity) {
 			res.stopped = true
 			return res
 		}
@@ -329,7 +333,8 @@ func Explore(p *engine.Program, opts engine.Options, limit int, visit func(*engi
 func ExploreUntil(p *engine.Program, opts engine.Options, limit int, visit func(*engine.Outcome) bool) Result {
 	r := engine.NewRunner(p, opts)
 	defer r.Close()
-	return dfs(r, nil, nil, limit, opts.Telemetry, nil, visit).result()
+	return dfs(r, nil, nil, limit, opts.Telemetry, nil,
+		func(o *engine.Outcome, _ []int) bool { return visit(o) }).result()
 }
 
 // Outcomes explores the program and classifies each execution with the
@@ -350,7 +355,7 @@ func Outcomes(p *engine.Program, opts engine.Options, cfg Config, key func(*engi
 	counts := make(map[string]int)
 	r := engine.NewRunner(p, opts)
 	defer r.Close()
-	sub := dfs(r, nil, nil, cfg.Limit, opts.Telemetry, ctxStop(cfg.Context), func(o *engine.Outcome) bool {
+	sub := dfs(r, nil, nil, cfg.Limit, opts.Telemetry, ctxStop(cfg.Context), func(o *engine.Outcome, _ []int) bool {
 		counts[key(o)]++
 		return true
 	})

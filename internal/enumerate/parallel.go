@@ -367,7 +367,7 @@ func parallelOutcomes(p *engine.Program, opts engine.Options, cfg Config, key fu
 						wstop = func() bool { return pool.stopped() || ctxDone() }
 					}
 					sub := dfs(r, u.prefix, u.want, pool.limit, shard, wstop,
-						func(o *engine.Outcome) bool {
+						func(o *engine.Outcome, _ []int) bool {
 							m[key(o)]++
 							return true
 						})
@@ -421,7 +421,7 @@ func parallelOutcomes(p *engine.Program, opts engine.Options, cfg Config, key fu
 			// re-descent between executions.
 			m = make(map[string]int)
 			sub := dfs(rc, units[i].prefix, units[i].want, remaining, coordTel, ctxDone,
-				func(o *engine.Outcome) bool {
+				func(o *engine.Outcome, _ []int) bool {
 					m[key(o)]++
 					return true
 				})
